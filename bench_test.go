@@ -1,0 +1,430 @@
+package fpdyn
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the index), plus the
+// ablation benches for the design choices called out in DESIGN.md §4.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks measure the *regeneration cost* of each artifact on a
+// shared synthetic world; the artifacts themselves are printed by
+// cmd/fpreport and cmd/fpstalker.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fpdyn/internal/browserid"
+	"fpdyn/internal/canvas"
+	"fpdyn/internal/correlate"
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/fpstalker"
+	"fpdyn/internal/inference"
+	"fpdyn/internal/linker"
+	"fpdyn/internal/mlearn"
+	"fpdyn/internal/population"
+	"fpdyn/internal/stats"
+	"fpdyn/internal/useragent"
+)
+
+type benchWorld struct {
+	ds      *population.Dataset
+	gt      *browserid.GroundTruth
+	dyns    []*dynamics.Dynamics
+	changed []*dynamics.Dynamics
+	cl      *dynamics.Classifier
+}
+
+var (
+	worldOnce sync.Once
+	bw        benchWorld
+)
+
+func world(b *testing.B) *benchWorld {
+	worldOnce.Do(func() {
+		cfg := population.DefaultConfig(2500)
+		cfg.Seed = 42
+		bw.ds = population.Simulate(cfg)
+		bw.gt = browserid.Build(bw.ds.Records)
+		bw.dyns = dynamics.Generate(bw.gt)
+		bw.changed = dynamics.Changed(bw.dyns)
+		bw.cl = &dynamics.Classifier{Images: dynamics.MapImages(bw.ds.CanvasImages)}
+	})
+	return &bw
+}
+
+// --- Table/Figure regeneration benches -------------------------------
+
+func BenchmarkFigure2AnonymitySets(b *testing.B) {
+	w := world(b)
+	inst := func(i int) string { return w.gt.IDs[i] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.AnonymitySets(w.ds.Records, inst, true, 10)
+	}
+}
+
+func BenchmarkTable1FeatureStats(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.FeatureTable(w.ds.Records, w.dyns)
+	}
+}
+
+func BenchmarkFigure3IdentifierBreakdown(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.UserBrowserCookie(w.gt)
+	}
+}
+
+func BenchmarkFigure4VisitSeries(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.VisitSeries(w.ds.Records, w.gt.IDs, 7*24*time.Hour)
+	}
+}
+
+func BenchmarkFigure5And6TypeBreakdown(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.TypeBreakdown(w.gt)
+	}
+}
+
+func BenchmarkFigure7Stability(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.StabilityBreakdown(w.gt, 12)
+	}
+}
+
+func BenchmarkTable2Classification(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dynamics.Analyze(w.changed, w.cl, w.gt.NumInstances())
+	}
+}
+
+func BenchmarkFigure8EmojiPixelDiff(b *testing.B) {
+	before := canvas.Render(canvas.Params{TextEngine: 3, TextWidth: 2, EmojiMajor: 6})
+	after := canvas.Render(canvas.Params{TextEngine: 3, TextWidth: 2, EmojiMajor: 7})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := canvas.Diff(before, after)
+		if !d.EmojiOnly() {
+			b.Fatal("figure 8 diff must be emoji-only")
+		}
+	}
+}
+
+// evolvedQuery builds a plausible non-exact query from a known record.
+func evolvedQuery(rec *fingerprint.Record) *fingerprint.Record {
+	cp := *rec
+	fp := rec.FP.Clone()
+	fp.CanvasHash = "evolved"
+	fp.TimezoneOffset += 60
+	cp.FP = fp
+	cp.Time = rec.Time.Add(24 * time.Hour)
+	return &cp
+}
+
+func BenchmarkFigure9MatchTimeRule(b *testing.B) {
+	w := world(b)
+	for _, size := range []int{1000, 4000, len(w.ds.Records)} {
+		b.Run(itoa(size), func(b *testing.B) {
+			l := fpstalker.NewRuleLinker()
+			for i := 0; i < size && i < len(w.ds.Records); i++ {
+				l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), w.ds.Records[i])
+			}
+			q := evolvedQuery(w.ds.Records[size/2])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.TopK(q, 10)
+			}
+		})
+	}
+}
+
+func BenchmarkFigure9MatchTimeLearning(b *testing.B) {
+	w := world(b)
+	n := len(w.ds.Records) / 2
+	forest, err := fpstalker.TrainPairModel(w.ds.Records[:n], w.ds.TrueInstance[:n],
+		mlearn.ForestConfig{Seed: 1, NumTrees: 10, MaxDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{1000, 4000} {
+		b.Run(itoa(size), func(b *testing.B) {
+			l := fpstalker.NewLearnLinker(forest)
+			for i := 0; i < size; i++ {
+				l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), w.ds.Records[i])
+			}
+			q := evolvedQuery(w.ds.Records[size/2])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.TopK(q, 10)
+			}
+		})
+	}
+}
+
+func BenchmarkFigure10F1Rule(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := fpstalker.Evaluate(fpstalker.NewRuleLinker(), w.ds.Records, w.ds.TrueInstance, 10)
+		if res.F1() == 0 {
+			b.Fatal("zero F1")
+		}
+	}
+}
+
+func BenchmarkFigure10F1Learning(b *testing.B) {
+	w := world(b)
+	n := len(w.ds.Records) / 2
+	forest, err := fpstalker.TrainPairModel(w.ds.Records[:n], w.ds.TrueInstance[:n],
+		mlearn.ForestConfig{Seed: 1, NumTrees: 10, MaxDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fpstalker.Evaluate(fpstalker.NewLearnLinker(forest), w.ds.Records, w.ds.TrueInstance, 10)
+	}
+}
+
+func BenchmarkFigure11CaseStudies(b *testing.B) {
+	// The four crafted FP/FN pairs, evaluated against a fresh linker.
+	mobile := useragent.UA{Browser: useragent.ChromeMobile, BrowserVersion: useragent.V(77, 0, 3865, 92),
+		OS: useragent.Android, OSVersion: useragent.V(9), Device: "SM-N960U", Mobile: true}
+	known := &fingerprint.Record{FP: &fingerprint.Fingerprint{
+		UserAgent: mobile.String(), CookieEnabled: true, LocalStorage: true, WebGL: true,
+		CPUCores: 4, CanvasHash: "c", GPUImageHash: "g",
+	}}
+	queries := []*fingerprint.Record{}
+	q1 := &fingerprint.Record{FP: known.FP.Clone()}
+	q1.FP.UserAgent = mobile.RequestDesktop().String()
+	q2 := &fingerprint.Record{FP: known.FP.Clone()}
+	q2.FP.CookieEnabled, q2.FP.LocalStorage = false, false
+	q3 := &fingerprint.Record{FP: known.FP.Clone()}
+	q3.FP.CPUCores = 2
+	queries = append(queries, q1, q2, q3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := fpstalker.NewRuleLinker()
+		l.Add("known", known)
+		for _, q := range queries {
+			l.TopK(q, 10)
+		}
+	}
+}
+
+func BenchmarkTable3UpdateCorrelations(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correlate.UpdateCorrelations(w.changed, w.cl)
+	}
+}
+
+func BenchmarkFigure12AdoptionSeries(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correlate.AdoptionSeries(w.changed, useragent.Chrome, 64,
+			w.ds.Cfg.Start, w.ds.Cfg.End, 7*24*time.Hour, w.gt.NumInstances())
+	}
+}
+
+func BenchmarkInsight1EmojiLeaks(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inference.EmojiLeaks(w.changed, w.cl)
+	}
+}
+
+func BenchmarkInsight1SoftwareFromFonts(b *testing.B) {
+	w := world(b)
+	latest := map[string]*fingerprint.Fingerprint{}
+	for id, recs := range w.gt.Instances {
+		latest[id] = recs[len(recs)-1].FP
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inference.SoftwareFromFonts(w.changed, latest)
+	}
+}
+
+func BenchmarkInsight1GPUInference(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inference.GPUInference(w.ds.Records, w.ds.GPUImageInfo)
+	}
+}
+
+func BenchmarkInsight1Velocity(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inference.Velocity(w.gt.Instances, w.ds.Geo)
+	}
+}
+
+func BenchmarkInsight3ImplicitCorrelations(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correlate.Implicit(w.changed, 3)
+	}
+}
+
+func BenchmarkGroundTruthBuild(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		browserid.Build(w.ds.Records)
+	}
+}
+
+func BenchmarkDynamicsGeneration(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dynamics.Generate(w.gt)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ----------------------------------
+
+// BenchmarkAblationDeltaVsPair measures the §2.3 representation choice:
+// the distinct-value compression that canonical deltas buy over raw
+// fingerprint pairs.
+func BenchmarkAblationDeltaVsPair(b *testing.B) {
+	w := world(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, deltas, ratio := stats.DeltaCompression(w.changed)
+		if pairs < deltas || ratio < 1 {
+			b.Fatalf("compression inverted: %d pairs, %d deltas", pairs, deltas)
+		}
+	}
+}
+
+// BenchmarkAblationLinkerCache measures Advice 6: the exact-match hash
+// index versus the full scan for exact re-presentations.
+func BenchmarkAblationLinkerCache(b *testing.B) {
+	w := world(b)
+	build := func(noIndex bool) *fpstalker.RuleLinker {
+		l := fpstalker.NewRuleLinker()
+		l.NoExactIndex = noIndex
+		for i, rec := range w.ds.Records {
+			l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), rec)
+		}
+		return l
+	}
+	q := w.ds.Records[len(w.ds.Records)-1]
+	b.Run("indexed", func(b *testing.B) {
+		l := build(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.TopK(q, 10)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		l := build(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.TopK(q, 10)
+		}
+	})
+}
+
+// BenchmarkExtensionHybridLinker compares the dynamics-aware hybrid
+// linker (the paper's Advices 5–8, implemented in internal/linker)
+// against rule-based FP-Stalker on the same replay.
+func BenchmarkExtensionHybridLinker(b *testing.B) {
+	w := world(b)
+	b.Run("rule-evaluate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fpstalker.Evaluate(fpstalker.NewRuleLinker(), w.ds.Records, w.ds.TrueInstance, 10)
+		}
+	})
+	b.Run("hybrid-evaluate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fpstalker.Evaluate(linker.New(), w.ds.Records, w.ds.TrueInstance, 10)
+		}
+	})
+}
+
+// BenchmarkAblationCanvasHashVsPixels measures §2.3.2's choice of hash
+// pairs over pixel diffs for canvas dynamics.
+func BenchmarkAblationCanvasHashVsPixels(b *testing.B) {
+	x := canvas.Render(canvas.Params{EmojiMajor: 1})
+	y := canvas.Render(canvas.Params{EmojiMajor: 2})
+	hx, hy := x.Hash(), y.Hash()
+	b.Run("hash-pair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if hx == hy {
+				b.Fatal("hashes equal")
+			}
+		}
+	})
+	b.Run("pixel-diff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if canvas.Diff(x, y).Changed == 0 {
+				b.Fatal("no diff")
+			}
+		}
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,65 @@
+// Command fpgen generates a synthetic raw dataset (the stand-in for
+// the paper's NDA-gated deployment data) and writes it as a JSONL
+// storage snapshot that cmd/fpserver, cmd/fpstalker and the examples
+// can load.
+//
+// Usage:
+//
+//	fpgen -users 10000 -seed 1 -o dataset.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fpdyn/internal/population"
+	"fpdyn/internal/storage"
+)
+
+func main() {
+	users := flag.Int("users", 5000, "number of simulated users")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scenario := flag.String("scenario", population.ScenarioPaper, "population preset")
+	deployment := flag.Bool("deployment", false, "simulate the §2.2.2 hot patches and partial outage")
+	out := flag.String("o", "dataset.jsonl", "output snapshot path")
+	truth := flag.String("truth", "", "optional path for the ground-truth sidecar (instance serials and cause labels)")
+	flag.Parse()
+
+	cfg, ok := population.NamedConfig(*scenario, *users)
+	if !ok {
+		log.Fatalf("fpgen: unknown scenario %q", *scenario)
+	}
+	cfg.Seed = *seed
+	cfg.SimulateDeployment = *deployment
+	ds := population.Simulate(cfg)
+
+	store := storage.NewStore()
+	for _, rec := range ds.Records {
+		store.Append(rec)
+	}
+	if err := store.SaveFile(*out); err != nil {
+		log.Fatalf("fpgen: %v", err)
+	}
+	fmt.Printf("wrote %d records (%d instances, %d users) to %s\n",
+		len(ds.Records), ds.NumInstances, cfg.Users, *out)
+
+	if *truth != "" {
+		f, err := os.Create(*truth)
+		if err != nil {
+			log.Fatalf("fpgen: %v", err)
+		}
+		for i := range ds.Records {
+			fmt.Fprintf(f, "%d", ds.TrueInstance[i])
+			for _, ev := range ds.Truth[i] {
+				fmt.Fprintf(f, " %s", ev)
+			}
+			fmt.Fprintln(f)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("fpgen: %v", err)
+		}
+		fmt.Printf("wrote ground truth sidecar to %s\n", *truth)
+	}
+}

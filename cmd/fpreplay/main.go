@@ -1,0 +1,74 @@
+// Command fpreplay streams a saved dataset snapshot through a live
+// collection server using the resilient client — a load generator for
+// cmd/fpserver and a demonstration of the transfer pipeline surviving
+// outages. Visits replay in record order; -speedup compresses the
+// original eight-month timeline.
+//
+// Usage:
+//
+//	fpgen -users 5000 -o dataset.jsonl
+//	fpserver -addr 127.0.0.1:9400 &
+//	fpreplay -in dataset.jsonl -addr 127.0.0.1:9400 -speedup 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"fpdyn/internal/collector"
+	"fpdyn/internal/storage"
+)
+
+func main() {
+	in := flag.String("in", "dataset.jsonl", "dataset snapshot to replay")
+	addr := flag.String("addr", "127.0.0.1:9400", "collection server address")
+	speedup := flag.Float64("speedup", 5_000_000, "timeline compression factor (1 = real time)")
+	report := flag.Int("report", 1000, "progress report interval in records")
+	flag.Parse()
+
+	store, err := storage.LoadFile(*in)
+	if err != nil {
+		log.Fatalf("fpreplay: %v", err)
+	}
+	records := store.Records()
+	if len(records) == 0 {
+		log.Fatal("fpreplay: empty dataset")
+	}
+	fmt.Printf("replaying %d records from %s to %s (speedup %.0fx)\n",
+		len(records), *in, *addr, *speedup)
+
+	client := collector.NewResilientClient(*addr)
+	defer client.Close()
+
+	start := time.Now()
+	t0 := records[0].Time
+	delivered, buffered := 0, 0
+	for i, rec := range records {
+		// Pace the replay against the compressed original timeline.
+		due := time.Duration(float64(rec.Time.Sub(t0)) / *speedup)
+		if sleep := due - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if err := client.Submit(rec); err != nil {
+			buffered++
+		} else {
+			delivered++
+		}
+		if (i+1)%*report == 0 {
+			sent, dropped := client.Stats()
+			fmt.Printf("  %d/%d replayed (sent %d, pending %d, dropped %d)\n",
+				i+1, len(records), sent, client.Pending(), dropped)
+		}
+	}
+	// Final drain attempt.
+	if err := client.Flush(); err != nil {
+		log.Printf("fpreplay: flush: %v", err)
+	}
+	sent, dropped := client.Stats()
+	fmt.Printf("done in %v: %d sent, %d still pending, %d dropped\n",
+		time.Since(start).Round(time.Millisecond), sent, client.Pending(), dropped)
+	_ = delivered
+	_ = buffered
+}

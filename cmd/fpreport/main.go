@@ -1,0 +1,79 @@
+// Command fpreport regenerates every table and figure of the paper's
+// evaluation from a synthetic dataset: Tables 1–3, Figures 2–8 and 12,
+// the browser-ID error estimation (§2.3.3), the Insight 1/3 analyses,
+// and the extension analyses (uniqueness/linkability trade-off, the
+// feature-stemming baseline). Figures 9–11 (the FP-Stalker scaling
+// evaluation) live in cmd/fpstalker, which owns the linking sweep.
+//
+// Usage:
+//
+//	fpreport -users 5000 -seed 1 -what all
+//	fpreport -what table2,fig12 -scenario enterprise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpdyn/internal/population"
+	"fpdyn/internal/report"
+)
+
+func main() {
+	users := flag.Int("users", 3000, "number of simulated users")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scenario := flag.String("scenario", population.ScenarioPaper,
+		"population preset: "+strings.Join(population.Scenarios(), ", "))
+	what := flag.String("what", "all", "comma-separated artifacts: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig12,estimate,insight1,insight3,compression,tradeoff,stemming or all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, w := range strings.Split(*what, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	cfg, ok := population.NamedConfig(*scenario, *users)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q; available: %s\n",
+			*scenario, strings.Join(population.Scenarios(), ", "))
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	fmt.Printf("simulating %d users (scenario %s, seed %d) over %s → %s ...\n",
+		cfg.Users, *scenario, cfg.Seed, cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
+
+	r := report.New(population.Simulate(cfg), os.Stdout)
+	r.Summary()
+
+	sections := []struct {
+		name string
+		fn   func()
+	}{
+		{"estimate", r.Estimate},
+		{"fig2", r.Fig2},
+		{"table1", r.Table1},
+		{"fig3", r.Fig3},
+		{"fig4", r.Fig4},
+		{"fig5", r.Fig5},
+		{"fig6", r.Fig6},
+		{"fig7", r.Fig7},
+		{"table2", r.Table2},
+		{"fig8", r.Fig8},
+		{"table3", r.Table3},
+		{"fig12", r.Fig12},
+		{"insight1", r.Insight1},
+		{"insight3", r.Insight3},
+		{"compression", r.Compression},
+		{"tradeoff", r.Tradeoff},
+		{"stemming", r.Stemming},
+	}
+	for _, s := range sections {
+		if sel(s.name) {
+			s.fn()
+		}
+	}
+}

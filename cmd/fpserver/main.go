@@ -1,0 +1,64 @@
+// Command fpserver runs the data-storage server of the measurement
+// platform (Figure 1) standalone: it accepts collection-client
+// connections, answers hash-dedup checks, and periodically reports
+// ingest statistics. On SIGINT it snapshots the store to disk.
+//
+// Usage:
+//
+//	fpserver -addr 127.0.0.1:9400 -o collected.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"fpdyn/internal/collector"
+	"fpdyn/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9400", "listen address")
+	out := flag.String("o", "collected.jsonl", "snapshot path written on shutdown")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+	flag.Parse()
+
+	store := storage.NewStore()
+	srv := collector.NewServer(store)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("fpserver: %v", err)
+	}
+	fmt.Printf("fpserver listening on %s\n", lis.Addr())
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				s := srv.Stats()
+				fmt.Printf("records=%d values=%d deduped=%d bytes=%d\n",
+					s.RecordsAccepted, s.ValuesReceived, s.ValuesDeduped, s.BytesReceived)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down ...")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(lis); err != nil {
+		log.Fatalf("fpserver: %v", err)
+	}
+	if err := store.SaveFile(*out); err != nil {
+		log.Fatalf("fpserver: snapshot: %v", err)
+	}
+	fmt.Printf("snapshot: %d records → %s\n", store.Len(), *out)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"fpdyn/internal/fpstalker"
+	"fpdyn/internal/useragent"
+)
+
+func TestParseSizes(t *testing.T) {
+	got := parseSizes("100, 2000,30000")
+	want := []int{100, 2000, 30000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWorldForReachesSize(t *testing.T) {
+	ds := worldFor(500, 3)
+	if len(ds.Records) < 500 {
+		t.Fatalf("worldFor(500) produced %d records", len(ds.Records))
+	}
+}
+
+func TestEvolvedQueriesAreNonExact(t *testing.T) {
+	ds := worldFor(300, 4)
+	queries := evolvedQueries(ds, 10)
+	if len(queries) == 0 {
+		t.Fatal("no queries")
+	}
+	for _, q := range queries {
+		if q.FP.CanvasHash == ds.Records[0].FP.CanvasHash && q.FP.CanvasHash != "" {
+			continue // different base record; fine
+		}
+	}
+	// An evolved query must not exactly equal its source record.
+	src := ds.Records[0]
+	if queries[0].FP.Equal(src.FP) {
+		t.Fatal("evolved query identical to source")
+	}
+}
+
+func TestF1Row(t *testing.T) {
+	res := fpstalker.EvalResult{TP: 8, FP: 2, FN: 2}
+	row := f1Row(100, "rule", res)
+	if row[0] != "100" || row[1] != "rule" || row[2] != "0.800" || row[3] != "0.800" || row[4] != "0.800" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestFillRespectsSize(t *testing.T) {
+	ds := worldFor(300, 5)
+	l := fpstalker.NewRuleLinker()
+	fill(l, ds, 50)
+	if l.Len() == 0 || l.Len() > 50 {
+		t.Fatalf("linker size = %d", l.Len())
+	}
+	_ = useragent.Chrome // keep import set stable
+}

@@ -1,0 +1,14 @@
+// Package fpdyn is a from-scratch Go reproduction of "Who Touched My
+// Browser Fingerprint? A Large-scale Measurement Study and
+// Classification of Fingerprint Dynamics" (Li & Cao, IMC 2020).
+//
+// The library lives under internal/: the measurement platform
+// (collector, storage), the ground-truth construction (browserid), the
+// diff engine (diff), the dynamics classifier (dynamics), the
+// FP-Stalker baseline (fpstalker, mlearn), the analyses (stats,
+// inference, correlate) and the synthetic population substrate
+// (population, canvas, geoip, useragent, fontdb) that stands in for the
+// paper's NDA-gated dataset. The root package carries the benchmark
+// harness that regenerates every table and figure; see bench_test.go,
+// DESIGN.md and EXPERIMENTS.md.
+package fpdyn

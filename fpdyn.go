@@ -1,0 +1,107 @@
+package fpdyn
+
+// The public facade: the types and entry points a downstream user
+// needs, re-exported from the internal packages. The facade follows the
+// pipeline order of the paper:
+//
+//	world := fpdyn.Simulate(fpdyn.DefaultConfig(5000))   // or collect real records
+//	gt := fpdyn.BuildGroundTruth(world.Records)           // browser IDs (§2.3.1)
+//	dyns := fpdyn.ChangedDynamics(gt)                     // the dynamics dataset (§2.3.2)
+//	breakdown := fpdyn.ClassifyAll(dyns, world, gt)       // Table 2
+//	res := fpdyn.EvaluateLinker(fpdyn.NewRuleLinker(), world)   // Figures 9–10
+//
+// Everything here is a thin alias or one-line wrapper; the package docs
+// of the internal packages hold the detailed documentation.
+
+import (
+	"fpdyn/internal/browserid"
+	"fpdyn/internal/diff"
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/fpstalker"
+	"fpdyn/internal/linker"
+	"fpdyn/internal/population"
+)
+
+// Core data types.
+type (
+	// Fingerprint is one collected browser fingerprint (Table 1's
+	// feature set).
+	Fingerprint = fingerprint.Fingerprint
+	// Record is one visit: fingerprint plus out-of-band identifiers.
+	Record = fingerprint.Record
+	// Delta is the diff between two consecutive fingerprints (§2.3.2).
+	Delta = diff.Delta
+	// Dynamics is one piece of fingerprint dynamics with its context.
+	Dynamics = dynamics.Dynamics
+	// Classification is the set of causes behind one piece of dynamics.
+	Classification = dynamics.Classification
+	// GroundTruth holds browser IDs built over a raw dataset.
+	GroundTruth = browserid.GroundTruth
+	// Dataset is a simulated world with ground-truth labels.
+	Dataset = population.Dataset
+	// Config controls the synthetic world.
+	Config = population.Config
+	// EvalResult aggregates a linking evaluation (Figure 9/10 metrics).
+	EvalResult = fpstalker.EvalResult
+	// Linker is the interface all three linker implementations satisfy.
+	Linker = fpstalker.Linker
+)
+
+// DefaultConfig returns the calibrated synthetic-world configuration at
+// the given user scale.
+func DefaultConfig(users int) Config { return population.DefaultConfig(users) }
+
+// Simulate generates a synthetic raw dataset (the stand-in for the
+// paper's NDA-gated deployment data).
+func Simulate(cfg Config) *Dataset { return population.Simulate(cfg) }
+
+// BuildGroundTruth constructs browser IDs over time-ordered records.
+func BuildGroundTruth(records []*Record) *GroundTruth { return browserid.Build(records) }
+
+// Diff computes the delta between two fingerprints.
+func Diff(a, b *Fingerprint) *Delta { return diff.Diff(a, b) }
+
+// GenerateDynamics produces the dynamics dataset from ground truth,
+// including unchanged pairs (Figure 7 needs them).
+func GenerateDynamics(gt *GroundTruth) []*Dynamics { return dynamics.Generate(gt) }
+
+// ChangedDynamics produces only the dynamics whose core fingerprint
+// changed.
+func ChangedDynamics(gt *GroundTruth) []*Dynamics {
+	return dynamics.Changed(dynamics.Generate(gt))
+}
+
+// Classify labels one piece of dynamics with its causes. The dataset's
+// canvas image store enables emoji/text subtype resolution; pass nil
+// to default canvas changes to the emoji subtype.
+func Classify(d *Dynamics, ds *Dataset) Classification {
+	cl := dynamics.Classifier{}
+	if ds != nil {
+		cl.Images = dynamics.MapImages(ds.CanvasImages)
+	}
+	return cl.Classify(d)
+}
+
+// ClassifyAll classifies every changed dynamics and aggregates the
+// Table 2 quantities.
+func ClassifyAll(dyns []*Dynamics, ds *Dataset, gt *GroundTruth) *dynamics.Breakdown {
+	cl := &dynamics.Classifier{}
+	if ds != nil {
+		cl.Images = dynamics.MapImages(ds.CanvasImages)
+	}
+	return dynamics.Analyze(dyns, cl, gt.NumInstances())
+}
+
+// NewRuleLinker returns the rule-based FP-Stalker baseline.
+func NewRuleLinker() Linker { return fpstalker.NewRuleLinker() }
+
+// NewHybridLinker returns the dynamics-aware linker implementing the
+// paper's Advices 5–8.
+func NewHybridLinker() Linker { return linker.New() }
+
+// EvaluateLinker replays a labelled world through a linker, measuring
+// top-10 precision/recall/F1 and matching latency.
+func EvaluateLinker(l Linker, ds *Dataset) EvalResult {
+	return fpstalker.Evaluate(l, ds.Records, ds.TrueInstance, 10)
+}

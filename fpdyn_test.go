@@ -1,0 +1,44 @@
+package fpdyn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fpdyn"
+)
+
+// TestFacadePipeline exercises the whole public surface.
+func TestFacadePipeline(t *testing.T) {
+	ds := fpdyn.Simulate(fpdyn.DefaultConfig(200))
+	gt := fpdyn.BuildGroundTruth(ds.Records)
+	if gt.NumInstances() == 0 {
+		t.Fatal("no instances")
+	}
+	dyns := fpdyn.ChangedDynamics(gt)
+	if len(dyns) == 0 {
+		t.Fatal("no dynamics")
+	}
+	b := fpdyn.ClassifyAll(dyns, ds, gt)
+	if b.TotalChanged != len(dyns) {
+		t.Fatalf("breakdown counted %d of %d", b.TotalChanged, len(dyns))
+	}
+	c := fpdyn.Classify(dyns[0], ds)
+	if c.Empty() && b.Unclassified == 0 {
+		t.Log("first delta unclassified; acceptable for rare combinations")
+	}
+	rule := fpdyn.EvaluateLinker(fpdyn.NewRuleLinker(), ds)
+	hyb := fpdyn.EvaluateLinker(fpdyn.NewHybridLinker(), ds)
+	if rule.F1() <= 0 || hyb.F1() <= 0 {
+		t.Fatalf("F1: rule %.3f hybrid %.3f", rule.F1(), hyb.F1())
+	}
+}
+
+// ExampleDiff at the facade level.
+func ExampleDiff() {
+	a := &fpdyn.Fingerprint{Fonts: []string{"Arial"}, TimezoneOffset: 60}
+	b := &fpdyn.Fingerprint{Fonts: []string{"Arial", "MT Extra"}, TimezoneOffset: 60}
+	d := fpdyn.Diff(a, b)
+	fmt.Println(len(d.Fields), "feature changed")
+	// Output:
+	// 1 feature changed
+}

@@ -1,0 +1,3 @@
+module fpdyn
+
+go 1.22

@@ -1,0 +1,227 @@
+// Package browserid implements the paper's ground-truth identifier
+// (§2.3.1): the browser ID, a combination of the anonymized user ID and
+// stable, hardware-flavoured browser features. Browser IDs beat the two
+// obvious alternatives the paper discards —
+//
+//   - cookies: 32% of browser instances clear cookies at least once
+//     (intelligent tracking prevention, private browsing), fragmenting
+//     one instance into many cookie identities;
+//   - user IDs alone: 14%+ of users visit from more than one device or
+//     browser, merging several instances into one identity.
+//
+// Construction has two steps. First, an initial browser ID is derived
+// from the user ID plus stable features (CPU class and cores, device
+// and OS family, browser family, GPU vendor/renderer). Second,
+// exceptional cases observed via cookies are linked: when the same
+// (user, cookie) pair appears under two initial IDs — e.g. a mobile
+// browser requesting the desktop version of a page, which rewrites the
+// user agent wholesale — the two IDs are unioned.
+//
+// The package also implements the §2.3.3 estimation of how often
+// browser IDs are wrong, using cookie appearance patterns: a cookie
+// shared across two final browser IDs signals a false negative (they
+// should have been linked); two interleaved cookies inside one browser
+// ID signal a false positive (it should have been split).
+package browserid
+
+import (
+	"fmt"
+	"sort"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/hashutil"
+)
+
+// StableKey is the tuple of stable features that seeds the initial
+// browser ID. Software toggles the user controls (cookie/localStorage
+// support) are deliberately excluded — §2.3.1 notes their changes are
+// user-driven and unpredictable.
+type StableKey struct {
+	UserID      string
+	CPUClass    string
+	CPUCores    int
+	OS          string // OS family from the parsed user agent
+	Device      string // device model; empty on desktop
+	Browser     string // browser family
+	GPUVendor   string
+	GPURenderer string
+}
+
+// KeyOf extracts the stable key from a visit record.
+func KeyOf(r *fingerprint.Record) StableKey {
+	return StableKey{
+		UserID:      r.UserID,
+		CPUClass:    r.FP.CPUClass,
+		CPUCores:    r.FP.CPUCores,
+		OS:          r.OS,
+		Device:      r.Device,
+		Browser:     r.Browser,
+		GPUVendor:   r.FP.GPUVendor,
+		GPURenderer: r.FP.GPURenderer,
+	}
+}
+
+// InitialID derives the initial browser ID string for a record.
+func InitialID(r *fingerprint.Record) string {
+	k := KeyOf(r)
+	return fmt.Sprintf("bid-%016x", hashutil.HashStrings(
+		k.UserID, k.CPUClass, fmt.Sprintf("%d", k.CPUCores),
+		k.OS, k.Device, k.Browser, k.GPUVendor, k.GPURenderer,
+	))
+}
+
+// GroundTruth is the result of building browser IDs over a full raw
+// dataset. Records are grouped per canonical (post-linking) browser ID
+// in time order.
+type GroundTruth struct {
+	// IDs holds the canonical browser ID of each input record, in input
+	// order.
+	IDs []string
+	// Instances groups records by canonical browser ID, each group in
+	// time order.
+	Instances map[string][]*fingerprint.Record
+	// UserInstances maps each user ID to the set of canonical browser
+	// IDs it was seen with.
+	UserInstances map[string]map[string]bool
+
+	parent map[string]string // union-find over initial IDs
+}
+
+// Build constructs browser IDs for a raw dataset. Records must be in
+// time order (the collection server stores them that way); Build does
+// not reorder.
+func Build(records []*fingerprint.Record) *GroundTruth {
+	gt := &GroundTruth{
+		Instances:     make(map[string][]*fingerprint.Record),
+		UserInstances: make(map[string]map[string]bool),
+		parent:        make(map[string]string),
+	}
+
+	initial := make([]string, len(records))
+	// cookieOwner maps (user, cookie) to the first initial ID seen with
+	// that cookie; a second initial ID under the same pair is an
+	// exceptional case and gets linked.
+	type userCookie struct{ user, cookie string }
+	cookieOwner := make(map[userCookie]string)
+
+	for i, r := range records {
+		id := InitialID(r)
+		initial[i] = id
+		gt.union(id, id) // ensure present
+		if r.Cookie == "" {
+			continue
+		}
+		key := userCookie{r.UserID, r.Cookie}
+		if owner, ok := cookieOwner[key]; ok {
+			if owner != id {
+				gt.union(owner, id)
+			}
+		} else {
+			cookieOwner[key] = id
+		}
+	}
+
+	gt.IDs = make([]string, len(records))
+	for i, r := range records {
+		id := gt.find(initial[i])
+		gt.IDs[i] = id
+		gt.Instances[id] = append(gt.Instances[id], r)
+		set := gt.UserInstances[r.UserID]
+		if set == nil {
+			set = make(map[string]bool)
+			gt.UserInstances[r.UserID] = set
+		}
+		set[id] = true
+	}
+	return gt
+}
+
+func (gt *GroundTruth) find(x string) string {
+	p, ok := gt.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	root := gt.find(p)
+	gt.parent[x] = root
+	return root
+}
+
+func (gt *GroundTruth) union(a, b string) {
+	ra, rb := gt.find(a), gt.find(b)
+	if _, ok := gt.parent[ra]; !ok {
+		gt.parent[ra] = ra
+	}
+	if _, ok := gt.parent[rb]; !ok {
+		gt.parent[rb] = rb
+	}
+	if ra == rb {
+		return
+	}
+	// Deterministic canonical root: the lexicographically smaller ID.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	gt.parent[rb] = ra
+}
+
+// NumInstances returns the number of distinct canonical browser IDs.
+func (gt *GroundTruth) NumInstances() int { return len(gt.Instances) }
+
+// InstanceIDs returns all canonical browser IDs, sorted (stable output
+// for reports and tests).
+func (gt *GroundTruth) InstanceIDs() []string {
+	ids := make([]string, 0, len(gt.Instances))
+	for id := range gt.Instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// MultiBrowserUserShare returns the fraction of users seen with more
+// than one browser instance (the paper: 14% of users use multiple
+// devices; over 15% use more than one browser).
+func (gt *GroundTruth) MultiBrowserUserShare() float64 {
+	if len(gt.UserInstances) == 0 {
+		return 0
+	}
+	multi := 0
+	for _, set := range gt.UserInstances {
+		if len(set) > 1 {
+			multi++
+		}
+	}
+	return float64(multi) / float64(len(gt.UserInstances))
+}
+
+// CookieCounts returns, per canonical browser ID, the number of
+// distinct non-empty cookies observed (Figure 3's bottom bar input).
+func (gt *GroundTruth) CookieCounts() map[string]int {
+	out := make(map[string]int, len(gt.Instances))
+	for id, recs := range gt.Instances {
+		seen := make(map[string]bool)
+		for _, r := range recs {
+			if r.Cookie != "" {
+				seen[r.Cookie] = true
+			}
+		}
+		out[id] = len(seen)
+	}
+	return out
+}
+
+// CookieClearingShare returns the fraction of browser instances with
+// more than one cookie — the instances that cleared cookies at least
+// once (paper: ~32%).
+func (gt *GroundTruth) CookieClearingShare() float64 {
+	if len(gt.Instances) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range gt.CookieCounts() {
+		if c > 1 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(gt.Instances))
+}

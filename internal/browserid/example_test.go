@@ -1,0 +1,36 @@
+package browserid_test
+
+import (
+	"fmt"
+	"time"
+
+	"fpdyn/internal/browserid"
+	"fpdyn/internal/fingerprint"
+)
+
+// ExampleBuild constructs browser IDs from raw records, demonstrating
+// the cookie-based linking of a mobile browser that requested the
+// desktop version of a page (§2.3.1's exceptional case).
+func ExampleBuild() {
+	t0 := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	rec := func(h int, browser, os, device string) *fingerprint.Record {
+		return &fingerprint.Record{
+			Time:   t0.Add(time.Duration(h) * time.Hour),
+			UserID: "alice", Cookie: "ck-1",
+			Browser: browser, OS: os, Device: device,
+			FP: &fingerprint.Fingerprint{CPUClass: "ARM", CPUCores: 8,
+				GPUVendor: "ARM", GPURenderer: "Mali-G71"},
+		}
+	}
+	records := []*fingerprint.Record{
+		rec(0, "Chrome Mobile", "Android", "SM-G950F"),
+		rec(1, "Chrome", "Linux", ""), // the desktop request
+		rec(2, "Chrome Mobile", "Android", "SM-G950F"),
+	}
+	gt := browserid.Build(records)
+	fmt.Println("instances:", gt.NumInstances())
+	fmt.Println("all same ID:", gt.IDs[0] == gt.IDs[1] && gt.IDs[1] == gt.IDs[2])
+	// Output:
+	// instances: 1
+	// all same ID: true
+}

@@ -1,0 +1,67 @@
+package collector
+
+import "fpdyn/internal/fingerprint"
+
+// RecordBrowser adapts a simulated visit record to the Browser
+// interface, so the full client pipeline (parallel task collection →
+// dedup transfer → server reconstruction) can be driven from generated
+// datasets.
+type RecordBrowser struct {
+	Rec *fingerprint.Record
+}
+
+var _ Browser = RecordBrowser{}
+
+// HTTPHeaders implements Browser.
+func (b RecordBrowser) HTTPHeaders() (HTTPHeaders, error) {
+	fp := b.Rec.FP
+	return HTTPHeaders{
+		UserAgent: fp.UserAgent, Accept: fp.Accept, Encoding: fp.Encoding,
+		Language: fp.Language, HeaderList: fp.HeaderList,
+	}, nil
+}
+
+// BrowserFeatures implements Browser.
+func (b RecordBrowser) BrowserFeatures() (BrowserFeatures, error) {
+	fp := b.Rec.FP
+	return BrowserFeatures{
+		Plugins: fp.Plugins, CookieEnabled: fp.CookieEnabled, WebGL: fp.WebGL,
+		LocalStorage: fp.LocalStorage, AddBehavior: fp.AddBehavior,
+		OpenDatabase: fp.OpenDatabase, TimezoneOffset: fp.TimezoneOffset,
+	}, nil
+}
+
+// OSFeatures implements Browser.
+func (b RecordBrowser) OSFeatures() (OSFeatures, error) {
+	fp := b.Rec.FP
+	return OSFeatures{Languages: fp.Languages, Fonts: fp.Fonts, CanvasHash: fp.CanvasHash}, nil
+}
+
+// HardwareFeatures implements Browser.
+func (b RecordBrowser) HardwareFeatures() (HardwareFeatures, error) {
+	fp := b.Rec.FP
+	return HardwareFeatures{
+		GPUVendor: fp.GPUVendor, GPURenderer: fp.GPURenderer, GPUType: fp.GPUType,
+		CPUCores: fp.CPUCores, CPUClass: fp.CPUClass, AudioInfo: fp.AudioInfo,
+		ScreenResolution: fp.ScreenResolution, ColorDepth: fp.ColorDepth,
+		PixelRatio: fp.PixelRatio,
+	}, nil
+}
+
+// IPFeatures implements Browser.
+func (b RecordBrowser) IPFeatures() (IPFeatures, error) {
+	fp := b.Rec.FP
+	return IPFeatures{Addr: fp.IPAddr, City: fp.IPCity, Region: fp.IPRegion, Country: fp.IPCountry}, nil
+}
+
+// ConsistencyFeatures implements Browser.
+func (b RecordBrowser) ConsistencyFeatures() (ConsistencyFeatures, error) {
+	fp := b.Rec.FP
+	return ConsistencyFeatures{
+		Language: fp.ConsLanguage, Resolution: fp.ConsResolution,
+		OS: fp.ConsOS, Browser: fp.ConsBrowser,
+	}, nil
+}
+
+// GPUImage implements Browser.
+func (b RecordBrowser) GPUImage() (string, error) { return b.Rec.FP.GPUImageHash, nil }

@@ -1,0 +1,313 @@
+package collector
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+)
+
+// Browser is the surface the collection client's task manager probes.
+// Each method corresponds to one parallel collection task; in a real
+// deployment these are JavaScript modules running in the page, here
+// they are served by an adapter over simulated visit state.
+type Browser interface {
+	HTTPHeaders() (HTTPHeaders, error)
+	BrowserFeatures() (BrowserFeatures, error)
+	OSFeatures() (OSFeatures, error)
+	HardwareFeatures() (HardwareFeatures, error)
+	IPFeatures() (IPFeatures, error)
+	ConsistencyFeatures() (ConsistencyFeatures, error)
+	GPUImage() (string, error)
+}
+
+// Feature-group payloads, one per collection task.
+type (
+	// HTTPHeaders is the header-derived feature group.
+	HTTPHeaders struct {
+		UserAgent, Accept, Encoding, Language string
+		HeaderList                            []string
+	}
+	// BrowserFeatures is the JavaScript-probed browser feature group.
+	BrowserFeatures struct {
+		Plugins                                                       []string
+		CookieEnabled, WebGL, LocalStorage, AddBehavior, OpenDatabase bool
+		TimezoneOffset                                                int
+	}
+	// OSFeatures is the side-channel OS feature group.
+	OSFeatures struct {
+		Languages, Fonts []string
+		CanvasHash       string
+	}
+	// HardwareFeatures is the hardware feature group.
+	HardwareFeatures struct {
+		GPUVendor, GPURenderer, GPUType string
+		CPUCores                        int
+		CPUClass, AudioInfo             string
+		ScreenResolution                string
+		ColorDepth                      int
+		PixelRatio                      string
+	}
+	// IPFeatures is derived server-side from the connection address in a
+	// real deployment; the simulator supplies it with the visit.
+	IPFeatures struct {
+		Addr, City, Region, Country string
+	}
+	// ConsistencyFeatures records whether independent collection methods
+	// agreed.
+	ConsistencyFeatures struct {
+		Language, Resolution, OS, Browser bool
+	}
+)
+
+// Collect runs the task manager: all seven collection tasks in
+// parallel, assembled into one fingerprint. It fails fast on the first
+// task error and respects ctx cancellation. The paper's tool finishes
+// within one second; CollectTimeout mirrors that budget.
+func Collect(ctx context.Context, b Browser) (*fingerprint.Fingerprint, error) {
+	fp := &fingerprint.Fingerprint{}
+	var mu sync.Mutex // guards fp against partially ordered writes
+	g := newGroup(ctx)
+
+	g.Go("http-headers", func() error {
+		v, err := b.HTTPHeaders()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fp.UserAgent, fp.Accept, fp.Encoding, fp.Language = v.UserAgent, v.Accept, v.Encoding, v.Language
+		fp.HeaderList = v.HeaderList
+		return nil
+	})
+	g.Go("browser-features", func() error {
+		v, err := b.BrowserFeatures()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fp.Plugins = v.Plugins
+		fp.CookieEnabled, fp.WebGL, fp.LocalStorage = v.CookieEnabled, v.WebGL, v.LocalStorage
+		fp.AddBehavior, fp.OpenDatabase = v.AddBehavior, v.OpenDatabase
+		fp.TimezoneOffset = v.TimezoneOffset
+		return nil
+	})
+	g.Go("os-features", func() error {
+		v, err := b.OSFeatures()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fp.Languages, fp.Fonts, fp.CanvasHash = v.Languages, v.Fonts, v.CanvasHash
+		return nil
+	})
+	g.Go("hardware", func() error {
+		v, err := b.HardwareFeatures()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fp.GPUVendor, fp.GPURenderer, fp.GPUType = v.GPUVendor, v.GPURenderer, v.GPUType
+		fp.CPUCores, fp.CPUClass, fp.AudioInfo = v.CPUCores, v.CPUClass, v.AudioInfo
+		fp.ScreenResolution, fp.ColorDepth, fp.PixelRatio = v.ScreenResolution, v.ColorDepth, v.PixelRatio
+		return nil
+	})
+	g.Go("ip", func() error {
+		v, err := b.IPFeatures()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fp.IPAddr, fp.IPCity, fp.IPRegion, fp.IPCountry = v.Addr, v.City, v.Region, v.Country
+		return nil
+	})
+	g.Go("consistency", func() error {
+		v, err := b.ConsistencyFeatures()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fp.ConsLanguage, fp.ConsResolution, fp.ConsOS, fp.ConsBrowser = v.Language, v.Resolution, v.OS, v.Browser
+		return nil
+	})
+	g.Go("gpu-image", func() error {
+		v, err := b.GPUImage()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fp.GPUImageHash = v
+		return nil
+	})
+
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return fp, nil
+}
+
+// group is a minimal errgroup (stdlib-only): first error wins, context
+// cancellation is honoured.
+type group struct {
+	ctx  context.Context
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+}
+
+func newGroup(ctx context.Context) *group { return &group{ctx: ctx} }
+
+func (g *group) Go(name string, fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		done := make(chan error, 1)
+		go func() { done <- fn() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				g.once.Do(func() { g.err = fmt.Errorf("task %s: %w", name, err) })
+			}
+		case <-g.ctx.Done():
+			g.once.Do(func() { g.err = fmt.Errorf("task %s: %w", name, g.ctx.Err()) })
+		}
+	}()
+}
+
+func (g *group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// Client is the transfer module: it submits collected records over one
+// TCP connection using the hash-dedup protocol.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	bytesSent atomic.Int64
+	submitted atomic.Int64
+}
+
+// Dial connects to a collection server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("collector: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (handy for tests over
+// net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	c := &Client{conn: conn}
+	c.enc = json.NewEncoder(countingWriter{conn, &c.bytesSent})
+	c.dec = json.NewDecoder(conn)
+	return c
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("collector: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("collector: recv: %w", err)
+	}
+	if resp.Type == TypeError {
+		return nil, fmt.Errorf("collector: server error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping verifies the connection.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(&Request{Type: TypePing})
+	if err != nil {
+		return err
+	}
+	if resp.Type != TypePong {
+		return fmt.Errorf("collector: unexpected ping reply %q", resp.Type)
+	}
+	return nil
+}
+
+// Submit transfers one record: first a hash check for the bulky list
+// values, then the record with only the missing blobs attached. It
+// returns the server-side record index.
+func (c *Client) Submit(rec *fingerprint.Record) (int, error) {
+	wire, refs, blobs := StripRecord(rec)
+	hashes := make([]string, 0, len(blobs))
+	for h := range blobs {
+		hashes = append(hashes, h)
+	}
+	resp, err := c.roundTrip(&Request{Type: TypeCheck, Hashes: hashes})
+	if err != nil {
+		return 0, err
+	}
+	need := make(map[string][]byte, len(resp.Hashes))
+	for _, h := range resp.Hashes {
+		if blob, ok := blobs[h]; ok {
+			need[h] = blob
+		}
+	}
+	resp, err = c.roundTrip(&Request{Type: TypeSubmit, Record: wire, Refs: refs, Values: need})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != TypeOK {
+		return 0, fmt.Errorf("collector: unexpected submit reply %q", resp.Type)
+	}
+	c.submitted.Add(1)
+	return resp.Index, nil
+}
+
+// SubmitRaw transfers one record without dedup (the ablation baseline:
+// every value travels every time).
+func (c *Client) SubmitRaw(rec *fingerprint.Record) (int, error) {
+	wire, refs, blobs := StripRecord(rec)
+	resp, err := c.roundTrip(&Request{Type: TypeSubmit, Record: wire, Refs: refs, Values: blobs})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != TypeOK {
+		return 0, fmt.Errorf("collector: unexpected submit reply %q", resp.Type)
+	}
+	c.submitted.Add(1)
+	return resp.Index, nil
+}
+
+// BytesSent returns the total bytes written to the connection.
+func (c *Client) BytesSent() int64 { return c.bytesSent.Load() }
+
+// Submitted returns the number of accepted submissions.
+func (c *Client) Submitted() int64 { return c.submitted.Load() }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

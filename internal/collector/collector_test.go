@@ -1,0 +1,352 @@
+package collector
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/population"
+	"fpdyn/internal/storage"
+)
+
+func sampleRecord() *fingerprint.Record {
+	return &fingerprint.Record{
+		Time:   time.Date(2018, 2, 1, 12, 0, 0, 0, time.UTC),
+		UserID: "u-1",
+		Cookie: "ck-1",
+		FP: &fingerprint.Fingerprint{
+			UserAgent:        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/63.0.3239.132 Safari/537.36",
+			Accept:           "text/html",
+			Encoding:         "gzip, deflate, br",
+			Language:         "en-US,en;q=0.9",
+			HeaderList:       []string{"Host", "User-Agent", "Accept"},
+			Plugins:          []string{"Chrome PDF Plugin", "Native Client"},
+			CookieEnabled:    true,
+			WebGL:            true,
+			LocalStorage:     true,
+			TimezoneOffset:   60,
+			Languages:        []string{"en-US"},
+			Fonts:            []string{"Arial", "Calibri", "Verdana", "Tahoma", "Georgia"},
+			CanvasHash:       "aabbccdd",
+			GPUVendor:        "NVIDIA Corporation",
+			GPURenderer:      "GeForce GTX 970",
+			GPUType:          "ANGLE (Direct3D11)",
+			CPUCores:         4,
+			CPUClass:         "x86",
+			AudioInfo:        "channels:2;rate:44100",
+			ScreenResolution: "1920x1080",
+			ColorDepth:       24,
+			PixelRatio:       "1",
+			IPAddr:           "100.1.1.1",
+			IPCity:           "Berlin",
+			IPRegion:         "Berlin",
+			IPCountry:        "Germany",
+			ConsLanguage:     true, ConsResolution: true, ConsOS: true, ConsBrowser: true,
+			GPUImageHash: "gg",
+		},
+		Browser: "Chrome", OS: "Windows",
+	}
+}
+
+func TestCollectAssemblesAllGroups(t *testing.T) {
+	rec := sampleRecord()
+	fp, err := Collect(context.Background(), RecordBrowser{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Equal(rec.FP) {
+		t.Fatal("collected fingerprint differs from source")
+	}
+}
+
+type faultyBrowser struct {
+	RecordBrowser
+	failTask string
+}
+
+func (b faultyBrowser) OSFeatures() (OSFeatures, error) {
+	if b.failTask == "os" {
+		return OSFeatures{}, errors.New("font side channel blocked")
+	}
+	return b.RecordBrowser.OSFeatures()
+}
+
+func (b faultyBrowser) GPUImage() (string, error) {
+	if b.failTask == "gpu" {
+		return "", errors.New("webgl unavailable")
+	}
+	return b.RecordBrowser.GPUImage()
+}
+
+func TestCollectTaskFailure(t *testing.T) {
+	_, err := Collect(context.Background(), faultyBrowser{RecordBrowser{sampleRecord()}, "os"})
+	if err == nil {
+		t.Fatal("expected task error")
+	}
+	_, err = Collect(context.Background(), faultyBrowser{RecordBrowser{sampleRecord()}, "gpu"})
+	if err == nil {
+		t.Fatal("expected gpu task error")
+	}
+}
+
+func TestCollectContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Collect(ctx, RecordBrowser{sampleRecord()}); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestStripRestoreRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	wire, refs, blobs := StripRecord(rec)
+	if wire.FP.Fonts != nil || wire.FP.Plugins != nil {
+		t.Fatal("dedup fields not stripped")
+	}
+	if rec.FP.Fonts == nil {
+		t.Fatal("StripRecord mutated the original")
+	}
+	if len(refs) != len(DedupFields) {
+		t.Fatalf("refs = %v", refs)
+	}
+	restored, err := RestoreRecord(wire, refs, func(h string) ([]byte, bool) {
+		b, ok := blobs[h]
+		return b, ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.FP.Equal(rec.FP) {
+		t.Fatal("restored record differs")
+	}
+}
+
+func TestRestoreMissingValue(t *testing.T) {
+	wire, refs, _ := StripRecord(sampleRecord())
+	_, err := RestoreRecord(wire, refs, func(string) ([]byte, bool) { return nil, false })
+	if err == nil {
+		t.Fatal("expected missing-value error")
+	}
+}
+
+// startServer spins up a TCP server on an ephemeral port; it is torn
+// down at test end.
+func startServer(t *testing.T) (*Server, *storage.Store, string) {
+	t.Helper()
+	store := storage.NewStore()
+	srv := NewServer(store)
+	srv.Logf = t.Logf
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, store, lis.Addr().String()
+}
+
+func TestEndToEndSubmit(t *testing.T) {
+	srv, store, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	idx, err := c.Submit(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || store.Len() != 1 {
+		t.Fatalf("idx=%d len=%d", idx, store.Len())
+	}
+	got := store.Record(0)
+	if !got.FP.Equal(rec.FP) {
+		t.Fatal("stored record differs from submitted")
+	}
+	if got.UserID != rec.UserID || got.Cookie != rec.Cookie {
+		t.Fatal("metadata lost")
+	}
+	if s := srv.Stats(); s.RecordsAccepted != 1 || s.ValuesReceived == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDedupSavesTransfer(t *testing.T) {
+	srv, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rec := sampleRecord()
+	if _, err := c.Submit(rec); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := c.BytesSent()
+	// Second submission of the same feature values: every blob dedups.
+	rec2 := sampleRecord()
+	rec2.Cookie = "ck-2"
+	if _, err := c.Submit(rec2); err != nil {
+		t.Fatal(err)
+	}
+	secondCost := c.BytesSent() - afterFirst
+	if secondCost >= afterFirst {
+		t.Errorf("dedup saved nothing: first=%dB second=%dB", afterFirst, secondCost)
+	}
+	if s := srv.Stats(); s.ValuesDeduped == 0 {
+		t.Fatalf("no values deduped: %+v", s)
+	}
+}
+
+func TestSubmitRawNoDedup(t *testing.T) {
+	srv, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.SubmitRaw(sampleRecord()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := srv.Stats(); s.ValuesDeduped != 0 {
+		t.Fatalf("raw path should never dedup: %+v", s)
+	}
+}
+
+func TestServerRejectsBadSubmit(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.roundTrip(&Request{Type: TypeSubmit}); err == nil {
+		t.Fatal("expected error for empty submit")
+	}
+	if _, err := c.roundTrip(&Request{Type: "bogus"}); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+	// The connection must still work afterwards.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, store, addr := startServer(t)
+	const clients = 8
+	const perClient = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				rec := sampleRecord()
+				rec.UserID = "u" + string(rune('a'+i))
+				if _, err := c.Submit(rec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if store.Len() != clients*perClient {
+		t.Fatalf("stored %d records, want %d", store.Len(), clients*perClient)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlatformIngestSimulatedWorld drives the full pipeline: simulate a
+// small world, push every record through collect+submit, and verify the
+// server-side dataset equals the generated one.
+func TestPlatformIngestSimulatedWorld(t *testing.T) {
+	ds := population.Simulate(population.DefaultConfig(40))
+	_, store, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, rec := range ds.Records {
+		fp, err := Collect(context.Background(), RecordBrowser{rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := *rec
+		full.FP = fp
+		if _, err := c.Submit(&full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() != len(ds.Records) {
+		t.Fatalf("stored %d of %d records", store.Len(), len(ds.Records))
+	}
+	for i, rec := range ds.Records {
+		if !store.Record(i).FP.Equal(rec.FP) {
+			t.Fatalf("record %d corrupted in transit", i)
+		}
+	}
+}
+
+func BenchmarkSubmitDedup(b *testing.B) {
+	store := storage.NewStore()
+	srv := NewServer(store)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rec := sampleRecord()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Submit(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

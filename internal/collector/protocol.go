@@ -1,0 +1,154 @@
+// Package collector implements the measurement platform of Figure 1:
+// a data-collection client whose task manager gathers feature groups in
+// parallel, a transfer module that content-addresses bulky feature
+// values so the client sends only a hash when the server already holds
+// the value (§2.2.1), and a TCP data-storage server that reconstructs
+// and appends full visit records to a storage.Store.
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/hashutil"
+)
+
+// Message types of the wire protocol. The protocol is newline-delimited
+// JSON over a single TCP connection; every request gets exactly one
+// response.
+const (
+	TypeCheck  = "check"  // client → server: which of these value hashes do you have?
+	TypeSubmit = "submit" // client → server: a record plus any values you were missing
+	TypePing   = "ping"   // client → server: liveness probe
+
+	TypeNeed  = "need"  // server → client: the hashes it does not have
+	TypeOK    = "ok"    // server → client: record accepted
+	TypePong  = "pong"  // server → client: liveness reply
+	TypeError = "error" // server → client: request rejected
+)
+
+// Request is a client→server message.
+type Request struct {
+	Type   string              `json:"type"`
+	Hashes []string            `json:"hashes,omitempty"`
+	Record *fingerprint.Record `json:"record,omitempty"`
+	// Refs maps dedup field names to the hash of their content; the
+	// record is sent with those fields stripped.
+	Refs map[string]string `json:"refs,omitempty"`
+	// Values carries the content for hashes the server reported missing.
+	Values map[string][]byte `json:"values,omitempty"`
+}
+
+// Response is a server→client message.
+type Response struct {
+	Type   string   `json:"type"`
+	Hashes []string `json:"hashes,omitempty"`
+	Index  int      `json:"index,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// Dedup field names: the list-valued features bulky enough to be worth
+// content addressing. The font list alone dominates record size.
+const (
+	FieldFonts   = "fonts"
+	FieldPlugins = "plugins"
+	FieldHeaders = "hdrs"
+	FieldLangs   = "langs"
+)
+
+// DedupFields enumerates the dedupable fields in a stable order.
+var DedupFields = []string{FieldFonts, FieldPlugins, FieldHeaders, FieldLangs}
+
+// fieldValue extracts a dedup field's list from a fingerprint.
+func fieldValue(fp *fingerprint.Fingerprint, field string) []string {
+	switch field {
+	case FieldFonts:
+		return fp.Fonts
+	case FieldPlugins:
+		return fp.Plugins
+	case FieldHeaders:
+		return fp.HeaderList
+	case FieldLangs:
+		return fp.Languages
+	}
+	return nil
+}
+
+// setFieldValue writes a dedup field's list back into a fingerprint.
+func setFieldValue(fp *fingerprint.Fingerprint, field string, v []string) {
+	switch field {
+	case FieldFonts:
+		fp.Fonts = v
+	case FieldPlugins:
+		fp.Plugins = v
+	case FieldHeaders:
+		fp.HeaderList = v
+	case FieldLangs:
+		fp.Languages = v
+	}
+}
+
+// encodeList canonically serializes a list value for content
+// addressing.
+func encodeList(v []string) []byte {
+	b, _ := json.Marshal(v) // string slices cannot fail to marshal
+	return b
+}
+
+// decodeList parses a stored list value.
+func decodeList(b []byte) ([]string, error) {
+	var v []string
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("collector: bad list value: %w", err)
+	}
+	return v, nil
+}
+
+// hashList returns the content address of a list value.
+func hashList(v []string) string {
+	return hashutil.SHA1HexBytes(encodeList(v))
+}
+
+// StripRecord splits a record into its wire form: a copy with dedup
+// fields removed, the field→hash reference map, and the hash→content
+// blobs. The caller sends only the blobs the server reports missing.
+func StripRecord(r *fingerprint.Record) (wire *fingerprint.Record, refs map[string]string, blobs map[string][]byte) {
+	cp := *r
+	fp := r.FP.Clone()
+	cp.FP = fp
+	refs = make(map[string]string, len(DedupFields))
+	blobs = make(map[string][]byte, len(DedupFields))
+	for _, field := range DedupFields {
+		v := fieldValue(fp, field)
+		h := hashList(v)
+		refs[field] = h
+		blobs[h] = encodeList(v)
+		setFieldValue(fp, field, nil)
+	}
+	return &cp, refs, blobs
+}
+
+// RestoreRecord reinstates dedup fields on a wire record using the
+// resolver (the server's value store).
+func RestoreRecord(wire *fingerprint.Record, refs map[string]string, lookup func(hash string) ([]byte, bool)) (*fingerprint.Record, error) {
+	fields := make([]string, 0, len(refs))
+	for f := range refs {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, field := range fields {
+		h := refs[field]
+		content, ok := lookup(h)
+		if !ok {
+			return nil, fmt.Errorf("collector: missing value %s for field %s", h, field)
+		}
+		v, err := decodeList(content)
+		if err != nil {
+			return nil, err
+		}
+		setFieldValue(wire.FP, field, v)
+	}
+	return wire, nil
+}

@@ -1,0 +1,157 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+)
+
+// ResilientClient wraps the transfer module with reconnection and
+// bounded buffering: the paper's deployment lost its server for eight
+// days and survived because clients kept retrying. Submissions that
+// fail are buffered (up to BufferLimit) and flushed on the next
+// successful submission, preserving order.
+type ResilientClient struct {
+	// Addr is the server address to (re)dial.
+	Addr string
+	// MaxRetries bounds the dial attempts per flush (default 3).
+	MaxRetries int
+	// Backoff is the base delay between redials, doubled per attempt
+	// (default 50ms; tests use ~1ms).
+	Backoff time.Duration
+	// BufferLimit caps the number of records held while the server is
+	// unreachable (default 1024); beyond it, the oldest are dropped —
+	// which is what the paper's deployment effectively did.
+	BufferLimit int
+
+	mu      sync.Mutex
+	client  *Client
+	pending []*fingerprint.Record
+	dropped int64
+	sent    int64
+}
+
+// NewResilientClient builds a resilient client for addr. No connection
+// is made until the first Submit.
+func NewResilientClient(addr string) *ResilientClient {
+	return &ResilientClient{
+		Addr:        addr,
+		MaxRetries:  3,
+		Backoff:     50 * time.Millisecond,
+		BufferLimit: 1024,
+	}
+}
+
+// Submit enqueues a record and attempts to flush everything pending.
+// It returns nil when the record was delivered (possibly along with
+// older buffered ones) and an error when it remains buffered.
+func (r *ResilientClient) Submit(rec *fingerprint.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending = append(r.pending, rec)
+	if over := len(r.pending) - r.bufferLimit(); over > 0 {
+		r.pending = r.pending[over:]
+		r.dropped += int64(over)
+	}
+	return r.flushLocked()
+}
+
+// Flush retries delivery of any buffered records.
+func (r *ResilientClient) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *ResilientClient) flushLocked() error {
+	for len(r.pending) > 0 {
+		c, err := r.ensureClientLocked()
+		if err != nil {
+			return fmt.Errorf("collector: %d records buffered: %w", len(r.pending), err)
+		}
+		if _, err := c.Submit(r.pending[0]); err != nil {
+			// The connection died mid-flight; drop it and let the next
+			// attempt redial.
+			c.Close()
+			r.client = nil
+			return fmt.Errorf("collector: %d records buffered: %w", len(r.pending), err)
+		}
+		r.pending = r.pending[1:]
+		r.sent++
+	}
+	return nil
+}
+
+func (r *ResilientClient) ensureClientLocked() (*Client, error) {
+	if r.client != nil {
+		return r.client, nil
+	}
+	retries := r.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c, err := Dial(r.Addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.Ping(); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		r.client = c
+		return c, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("unreachable")
+	}
+	return nil, lastErr
+}
+
+func (r *ResilientClient) bufferLimit() int {
+	if r.BufferLimit <= 0 {
+		return 1024
+	}
+	return r.BufferLimit
+}
+
+// Pending returns the number of buffered records.
+func (r *ResilientClient) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Stats returns delivered and dropped counts.
+func (r *ResilientClient) Stats() (sent, dropped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sent, r.dropped
+}
+
+// Close releases the underlying connection; buffered records are kept
+// and can still be flushed after a later Submit/Flush redials.
+func (r *ResilientClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil {
+		err := r.client.Close()
+		r.client = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package collector
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"fpdyn/internal/storage"
+)
+
+// Server is the data-storage server: it accepts collection connections,
+// answers dedup checks against its value store, and appends
+// reconstructed records to the backing store.
+type Server struct {
+	store *storage.Store
+
+	mu     sync.Mutex
+	lis    net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	// Stats counters (atomic).
+	recordsAccepted atomic.Int64
+	valuesReceived  atomic.Int64
+	valuesDeduped   atomic.Int64
+	bytesReceived   atomic.Int64
+
+	// Logf receives per-connection error logs; defaults to log.Printf.
+	// Set before Serve.
+	Logf func(format string, args ...any)
+}
+
+// NewServer creates a server over the given store.
+func NewServer(store *storage.Store) *Server {
+	return &Server{
+		store: store,
+		conns: make(map[net.Conn]struct{}),
+		Logf:  log.Printf,
+	}
+}
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	RecordsAccepted int64
+	ValuesReceived  int64 // blobs actually transferred
+	ValuesDeduped   int64 // blobs skipped thanks to the hash check
+	BytesReceived   int64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		RecordsAccepted: s.recordsAccepted.Load(),
+		ValuesReceived:  s.valuesReceived.Load(),
+		ValuesDeduped:   s.valuesDeduped.Load(),
+		BytesReceived:   s.bytesReceived.Load(),
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves until
+// Close. It returns the bound address on a channel-free API: call Addr
+// after it returns from the internal listen step via Listen+Serve
+// instead when the port is needed; ListenAndServe is for cmd binaries.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Close is called. It blocks.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		// Close raced ahead of Serve: shut down cleanly.
+		s.mu.Unlock()
+		lis.Close()
+		return nil
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Logf("collector: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// countingReader counts bytes drawn from the connection.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+// handle runs the request loop for one connection.
+func (s *Server) handle(conn net.Conn) error {
+	dec := json.NewDecoder(countingReader{conn, &s.bytesReceived})
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return err
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// dispatch processes one request.
+func (s *Server) dispatch(req *Request) *Response {
+	switch req.Type {
+	case TypePing:
+		return &Response{Type: TypePong}
+	case TypeCheck:
+		var missing []string
+		for _, h := range req.Hashes {
+			if s.store.HasValue(h) {
+				s.valuesDeduped.Add(1)
+			} else {
+				missing = append(missing, h)
+			}
+		}
+		return &Response{Type: TypeNeed, Hashes: missing}
+	case TypeSubmit:
+		if req.Record == nil || req.Record.FP == nil {
+			return &Response{Type: TypeError, Error: "submit without record"}
+		}
+		for h, content := range req.Values {
+			s.store.PutValue(h, content)
+			s.valuesReceived.Add(1)
+		}
+		rec, err := RestoreRecord(req.Record, req.Refs, s.store.Value)
+		if err != nil {
+			return &Response{Type: TypeError, Error: err.Error()}
+		}
+		idx := s.store.Append(rec)
+		s.recordsAccepted.Add(1)
+		return &Response{Type: TypeOK, Index: idx}
+	default:
+		return &Response{Type: TypeError, Error: "unknown request type " + req.Type}
+	}
+}

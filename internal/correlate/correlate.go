@@ -1,0 +1,271 @@
+// Package correlate implements the paper's correlation analyses:
+//
+//   - Insight 3: implicit correlations between feature *dynamics* —
+//     features that are unrelated statically but change together
+//     (cookie↔localStorage under Chrome's single checkbox, DirectX API
+//     level ↔ audio sample rate under Chrome's DirectX audio path);
+//   - Table 3: features correlated with specific browser/OS updates
+//     (canvas text/emoji subtypes, font list changes, plugin drops);
+//   - Insight 4 / Figure 12: the timing correlation between release
+//     events and update dynamics, i.e. adoption curves.
+package correlate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fpdyn/internal/canvas"
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/useragent"
+)
+
+// canvasDiffSubtypes renders the Table 3 canvas subtype labels for an
+// image pair.
+func canvasDiffSubtypes(a, b *canvas.Image) []string {
+	var out []string
+	for _, s := range canvas.Diff(a, b).Subtypes() {
+		out = append(out, string(s))
+	}
+	return out
+}
+
+// Correlation is one mined pair of co-changing features.
+type Correlation struct {
+	A, B     fingerprint.ID
+	Together int // dynamics where both changed
+	CountA   int // dynamics where A changed (at all)
+	CountB   int
+	Lift     float64 // P(A∧B) / (P(A)·P(B)) over changed dynamics
+}
+
+// Label renders the pair using schema names.
+func (c Correlation) Label() string {
+	return fingerprint.Describe(c.A).Name + " ↔ " + fingerprint.Describe(c.B).Name
+}
+
+// Implicit mines pairwise dynamics correlations following the paper's
+// §4 methodology: rank feature pairs that appear together in dynamics
+// and keep those whose joint appearance is disproportionate to their
+// separate appearances. Pairs must co-occur at least minTogether times.
+// IP features are excluded (they co-move with travel trivially).
+// Results are sorted by descending lift, then joint count.
+func Implicit(dyns []*dynamics.Dynamics, minTogether int) []Correlation {
+	count := make([]int, fingerprint.NumFeatures)
+	joint := map[[2]fingerprint.ID]int{}
+	n := 0
+	for _, d := range dyns {
+		if !d.CoreChanged() {
+			continue
+		}
+		n++
+		ids := d.Delta.FeatureIDs()
+		var core []fingerprint.ID
+		for _, id := range ids {
+			if fingerprint.Describe(id).IsIP {
+				continue
+			}
+			core = append(core, id)
+			count[id]++
+		}
+		for i := 0; i < len(core); i++ {
+			for j := i + 1; j < len(core); j++ {
+				joint[[2]fingerprint.ID{core[i], core[j]}]++
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	var out []Correlation
+	for pair, together := range joint {
+		if together < minTogether {
+			continue
+		}
+		a, b := pair[0], pair[1]
+		lift := float64(together) * float64(n) / (float64(count[a]) * float64(count[b]))
+		out = append(out, Correlation{
+			A: a, B: b, Together: together,
+			CountA: count[a], CountB: count[b], Lift: lift,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lift != out[j].Lift {
+			return out[i].Lift > out[j].Lift
+		}
+		if out[i].Together != out[j].Together {
+			return out[i].Together > out[j].Together
+		}
+		return out[i].A < out[j].A || (out[i].A == out[j].A && out[i].B < out[j].B)
+	})
+	return out
+}
+
+// UpdateCorrelation is one Table 3 row: a specific update and a
+// correlated feature change.
+type UpdateCorrelation struct {
+	Update   string // e.g. "Chrome 63→64" or "iOS 11.2→11.3"
+	Platform string // OS family the update was observed on
+	Feature  string // e.g. "C: text detail", "F: +27 fonts", "P: -1 plugin"
+	Count    int
+}
+
+// UpdateCorrelations aggregates, per observed browser/OS update, the
+// co-changing canvas/font/plugin features — Table 3. The classifier
+// provides canvas subtype resolution via its image store.
+func UpdateCorrelations(dyns []*dynamics.Dynamics, cl *dynamics.Classifier) []UpdateCorrelation {
+	counts := map[UpdateCorrelation]int{}
+	for _, d := range dyns {
+		if !d.Delta.Has(fingerprint.FeatUserAgent) {
+			continue
+		}
+		from, err1 := useragent.Parse(d.From.FP.UserAgent)
+		to, err2 := useragent.Parse(d.To.FP.UserAgent)
+		if err1 != nil || err2 != nil || from.Browser != to.Browser || from.OS != to.OS {
+			continue
+		}
+		var update string
+		switch {
+		case to.BrowserVersion.Compare(from.BrowserVersion) > 0:
+			if to.BrowserVersion.Major == from.BrowserVersion.Major {
+				update = fmt.Sprintf("%s %s→%s", to.Browser, from.BrowserVersion, to.BrowserVersion)
+			} else {
+				update = fmt.Sprintf("%s %d→%d", to.Browser, from.BrowserVersion.Major, to.BrowserVersion.Major)
+			}
+		case to.OSVersion.Compare(from.OSVersion) > 0:
+			update = fmt.Sprintf("%s %s→%s", to.OS, from.OSVersion, to.OSVersion)
+		default:
+			continue
+		}
+		for _, feat := range correlatedFeatures(d, cl) {
+			counts[UpdateCorrelation{Update: update, Platform: to.OS, Feature: feat}]++
+		}
+	}
+	out := make([]UpdateCorrelation, 0, len(counts))
+	for k, n := range counts {
+		k.Count = n
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Update != out[j].Update {
+			return out[i].Update < out[j].Update
+		}
+		return out[i].Feature < out[j].Feature
+	})
+	return out
+}
+
+// correlatedFeatures renders the Table 3 feature descriptors for one
+// update's delta.
+func correlatedFeatures(d *dynamics.Dynamics, cl *dynamics.Classifier) []string {
+	var out []string
+	if fd := d.Delta.Field(fingerprint.FeatCanvas); fd != nil {
+		out = append(out, "C: "+canvasSubtypeLabel(fd.OldHash, fd.NewHash, cl))
+	}
+	if fd := d.Delta.Field(fingerprint.FeatFontList); fd != nil {
+		switch {
+		case len(fd.Added) > 0 && len(fd.Deleted) > 0:
+			out = append(out, "F: remove/add fonts")
+		case len(fd.Added) > 0:
+			out = append(out, fmt.Sprintf("F: add %d fonts", len(fd.Added)))
+		default:
+			out = append(out, fmt.Sprintf("F: remove %d fonts", len(fd.Deleted)))
+		}
+	}
+	if fd := d.Delta.Field(fingerprint.FeatPlugins); fd != nil {
+		if len(fd.Deleted) > 0 && len(fd.Added) == 0 {
+			out = append(out, fmt.Sprintf("P: remove %d plugin(s)", len(fd.Deleted)))
+		} else {
+			out = append(out, "P: plugin change")
+		}
+	}
+	if d.Delta.Has(fingerprint.FeatGPUType) {
+		out = append(out, "G: GPU API level change")
+	}
+	return out
+}
+
+func canvasSubtypeLabel(oldHash, newHash string, cl *dynamics.Classifier) string {
+	if cl == nil || cl.Images == nil {
+		return "canvas change"
+	}
+	a, okA := cl.Images.Image(oldHash)
+	b, okB := cl.Images.Image(newHash)
+	if !okA || !okB {
+		return "canvas change"
+	}
+	subs := canvasDiffSubtypes(a, b)
+	if len(subs) == 0 {
+		return "canvas change"
+	}
+	s := subs[0]
+	for _, more := range subs[1:] {
+		s += " and " + more
+	}
+	return s
+}
+
+// AdoptionPoint is one Figure 12 sample: the share of all instances
+// whose dynamics in this bucket updated the browser to the target
+// version.
+type AdoptionPoint struct {
+	Start time.Time
+	Pct   float64
+	Count int
+}
+
+// AdoptionSeries computes a Figure 12 curve: bucketed counts of
+// update-to-target dynamics for one browser family, as a percentage of
+// totalInstances. start/end bound the window.
+func AdoptionSeries(dyns []*dynamics.Dynamics, family string, targetMajor int,
+	start, end time.Time, bucket time.Duration, totalInstances int) []AdoptionPoint {
+	var series []AdoptionPoint
+	for t := start; t.Before(end); t = t.Add(bucket) {
+		series = append(series, AdoptionPoint{Start: t})
+	}
+	for _, d := range dyns {
+		if !d.Delta.Has(fingerprint.FeatUserAgent) {
+			continue
+		}
+		from, err1 := useragent.Parse(d.From.FP.UserAgent)
+		to, err2 := useragent.Parse(d.To.FP.UserAgent)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if to.Browser != family || from.Browser != family {
+			continue
+		}
+		if to.BrowserVersion.Major != targetMajor || from.BrowserVersion.Major >= targetMajor {
+			continue
+		}
+		i := int(d.To.Time.Sub(start) / bucket)
+		if i >= 0 && i < len(series) {
+			series[i].Count++
+		}
+	}
+	if totalInstances > 0 {
+		for i := range series {
+			series[i].Pct = 100 * float64(series[i].Count) / float64(totalInstances)
+		}
+	}
+	return series
+}
+
+// PeakAfter returns the index of the series' maximum at or after the
+// given time — used to verify that adoption peaks follow releases.
+func PeakAfter(series []AdoptionPoint, t time.Time) (int, bool) {
+	best, bestIdx := -1, -1
+	for i, p := range series {
+		if p.Start.Before(t) {
+			continue
+		}
+		if p.Count > best {
+			best, bestIdx = p.Count, i
+		}
+	}
+	return bestIdx, bestIdx >= 0
+}

@@ -1,0 +1,68 @@
+package diff_test
+
+import (
+	"fmt"
+
+	"fpdyn/internal/diff"
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/useragent"
+)
+
+// ExampleDiff shows the paper's core §2.3.2 property: a browser update
+// produces the same delta on two differently configured instances.
+func ExampleDiff() {
+	mk := func(version useragent.Version, extraFont bool) *fingerprint.Fingerprint {
+		ua := useragent.UA{Browser: useragent.Chrome, BrowserVersion: version,
+			OS: useragent.Windows, OSVersion: useragent.V(10)}
+		fp := &fingerprint.Fingerprint{
+			UserAgent: ua.String(),
+			Fonts:     []string{"Arial", "Calibri"},
+		}
+		if extraFont {
+			fp.Fonts = fingerprint.AddFonts(fp.Fonts, []string{"MT Extra"})
+		}
+		return fp
+	}
+	v56, v57 := useragent.V(56, 0, 2924, 87), useragent.V(57, 0, 2987, 98)
+
+	// Instance A: plain. Instance B: has an extra font. Both update.
+	deltaA := diff.Diff(mk(v56, false), mk(v57, false))
+	deltaB := diff.Diff(mk(v56, true), mk(v57, true))
+	fmt.Println("identical deltas:", deltaA.Key() == deltaB.Key())
+
+	fd := deltaA.Field(fingerprint.FeatUserAgent)
+	for _, e := range fd.Edits {
+		fmt.Printf("%c %s -> %s\n", e.Op, e.Old, e.New)
+	}
+	// Output:
+	// identical deltas: true
+	// R 56 -> 57
+	// R 2924 -> 2987
+	// R 87 -> 98
+}
+
+// ExampleDiffSets demonstrates the two-subtraction set diff used for
+// font and plugin lists.
+func ExampleDiffSets() {
+	added, deleted := diff.DiffSets(
+		[]string{"Arial", "Calibri", "Verdana"},
+		[]string{"Arial", "MT Extra", "Verdana"},
+	)
+	fmt.Println("added:", added)
+	fmt.Println("deleted:", deleted)
+	// Output:
+	// added: [MT Extra]
+	// deleted: [Calibri]
+}
+
+// ExampleApplySubfields replays an edit script — the primitive behind
+// dynamics-aware fingerprint prediction (Insight 4).
+func ExampleApplySubfields() {
+	old := useragent.Subfields("gzip,deflate")
+	new_ := useragent.Subfields("gzip, deflate, br")
+	edits := diff.DiffSubfields(old, new_)
+	replayed := diff.ApplySubfields(old, edits)
+	fmt.Println(useragent.JoinSubfields(replayed))
+	// Output:
+	// gzip, deflate, br
+}

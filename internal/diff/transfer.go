@@ -1,0 +1,174 @@
+package diff
+
+import (
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/useragent"
+)
+
+// TransferDelta applies a delta observed on one browser instance to a
+// different instance's fingerprint — the paper's Insight 4 proposal:
+// once a fingerprinting tool has seen the Firefox 57→58 delta on any
+// instance, it can predict the post-update fingerprint of every other
+// stale Firefox 57 instance in its database and match updated visitors
+// exactly instead of fuzzily.
+//
+// String features replay their subfield edit script; set features add
+// and remove the delta's elements; hash features (canvas, GPU images)
+// adopt the delta's new hash when the target's current hash matches the
+// old one (environments that already diverged keep their own value —
+// their canvases will not repaint identically).
+//
+// The returned fingerprint is a new value; the input is not modified.
+// ok is false when the delta clearly does not apply (e.g. a string
+// edit's context is absent from the target).
+func TransferDelta(d *Delta, fp *fingerprint.Fingerprint) (*fingerprint.Fingerprint, bool) {
+	out := fp.Clone()
+	for i := range d.Fields {
+		fd := &d.Fields[i]
+		switch fd.Kind {
+		case fingerprint.KindString:
+			cur := out.Value(fd.Feature).Str
+			fields := useragent.Subfields(cur)
+			// Verify the edit context: every Old token the script
+			// consumes must be present in order.
+			if !scriptApplies(fields, fd.Edits) {
+				return nil, false
+			}
+			next := useragent.JoinSubfields(applyLoose(fields, fd.Edits))
+			setString(out, fd.Feature, next)
+		case fingerprint.KindSet:
+			cur := out.Value(fd.Feature).Set
+			cur = fingerprint.RemoveFonts(cur, fd.Deleted) // generic set ops
+			cur = fingerprint.AddFonts(cur, fd.Added)
+			setSet(out, fd.Feature, cur)
+		case fingerprint.KindHash:
+			if out.Value(fd.Feature).Str == fd.OldHash {
+				setString(out, fd.Feature, fd.NewHash)
+			}
+		}
+	}
+	return out, true
+}
+
+// anchor finds the position (at or after from) where a consuming edit
+// applies: the first occurrence of Old whose preceding token matches
+// the edit's recorded source context, falling back to the first plain
+// occurrence when the context never matches (differently shaped
+// strings). Returns -1 when Old does not occur at all.
+func anchor(fields []string, from int, e SubfieldEdit) int {
+	fallback := -1
+	for p := from; p < len(fields); p++ {
+		if fields[p] != e.Old {
+			continue
+		}
+		if prevTok(fields, p) == e.Prev {
+			return p
+		}
+		if fallback < 0 {
+			fallback = p
+		}
+	}
+	return fallback
+}
+
+// scriptApplies verifies that the tokens a script consumes appear in
+// the target sequence in order (context-aware).
+func scriptApplies(fields []string, edits []SubfieldEdit) bool {
+	pos := 0
+	for _, e := range edits {
+		if e.Op == OpInsert {
+			continue
+		}
+		p := anchor(fields, pos, e)
+		if p < 0 {
+			return false
+		}
+		pos = p + 1
+	}
+	return true
+}
+
+// applyLoose replays an edit script positionally-tolerantly: consuming
+// ops anchor to their context-matching occurrence of Old instead of an
+// absolute index, so a script recorded on one instance applies to
+// another whose string has a different shape — and lands on the right
+// token ("Chrome/64", not "Win64").
+func applyLoose(fields []string, edits []SubfieldEdit) []string {
+	out := make([]string, 0, len(fields))
+	pos := 0
+	for _, e := range edits {
+		switch e.Op {
+		case OpInsert:
+			// Inserts anchor at the current scan position: in version-bump
+			// scripts they sit adjacent to the consuming ops around them.
+			out = append(out, e.New)
+		case OpDelete, OpReplace:
+			p := anchor(fields, pos, e)
+			if p < 0 {
+				continue // verified by scriptApplies; defensive
+			}
+			out = append(out, fields[pos:p]...)
+			if e.Op == OpReplace {
+				out = append(out, e.New)
+			}
+			pos = p + 1
+		}
+	}
+	out = append(out, fields[pos:]...)
+	return out
+}
+
+// setString writes a string/hash feature back into a fingerprint.
+func setString(fp *fingerprint.Fingerprint, id fingerprint.ID, v string) {
+	switch id {
+	case fingerprint.FeatUserAgent:
+		fp.UserAgent = v
+	case fingerprint.FeatAccept:
+		fp.Accept = v
+	case fingerprint.FeatEncoding:
+		fp.Encoding = v
+	case fingerprint.FeatLanguage:
+		fp.Language = v
+	case fingerprint.FeatCanvas:
+		fp.CanvasHash = v
+	case fingerprint.FeatGPUVendor:
+		fp.GPUVendor = v
+	case fingerprint.FeatGPURenderer:
+		fp.GPURenderer = v
+	case fingerprint.FeatGPUType:
+		fp.GPUType = v
+	case fingerprint.FeatAudio:
+		fp.AudioInfo = v
+	case fingerprint.FeatScreenResolution:
+		fp.ScreenResolution = v
+	case fingerprint.FeatCPUClass:
+		fp.CPUClass = v
+	case fingerprint.FeatPixelRatio:
+		fp.PixelRatio = v
+	case fingerprint.FeatIPCity:
+		fp.IPCity = v
+	case fingerprint.FeatIPRegion:
+		fp.IPRegion = v
+	case fingerprint.FeatIPCountry:
+		fp.IPCountry = v
+	case fingerprint.FeatGPUImage:
+		fp.GPUImageHash = v
+	}
+	// Numeric and boolean features (timezone, cores, depth, toggles)
+	// are not transferable via string scripts; deltas on them carry no
+	// cross-instance information and are skipped by design.
+}
+
+// setSet writes a set feature back into a fingerprint.
+func setSet(fp *fingerprint.Fingerprint, id fingerprint.ID, v []string) {
+	switch id {
+	case fingerprint.FeatHeaderList:
+		fp.HeaderList = v
+	case fingerprint.FeatPlugins:
+		fp.Plugins = v
+	case fingerprint.FeatLanguageList:
+		fp.Languages = v
+	case fingerprint.FeatFontList:
+		fp.Fonts = v
+	}
+}

@@ -1,0 +1,69 @@
+package diff
+
+import (
+	"testing"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/useragent"
+)
+
+// Property: transferring a delta back onto its own source reproduces
+// the destination exactly, for every update on the release calendar's
+// version lattice.
+func TestTransferDeltaSelfConsistency(t *testing.T) {
+	versions := []useragent.Version{
+		useragent.V(63, 0, 3239, 84),
+		useragent.V(64, 0, 3282, 140),
+		useragent.V(65, 0, 3325, 146),
+		useragent.V(66, 0, 3359, 117),
+		useragent.V(67, 0, 3396, 62),
+	}
+	for i := 0; i+1 < len(versions); i++ {
+		from := baseFP()
+		from.UserAgent = useragent.UA{Browser: useragent.Chrome, BrowserVersion: versions[i],
+			OS: useragent.Windows, OSVersion: useragent.V(10)}.String()
+		to := from.Clone()
+		to.UserAgent = useragent.UA{Browser: useragent.Chrome, BrowserVersion: versions[i+1],
+			OS: useragent.Windows, OSVersion: useragent.V(10)}.String()
+		to.Fonts = fingerprint.AddFonts(to.Fonts, []string{"Bahnschrift"})
+		to.CanvasHash = "repainted"
+
+		delta := Diff(from, to)
+		got, ok := TransferDelta(delta, from)
+		if !ok {
+			t.Fatalf("v%d→v%d: transfer failed", versions[i].Major, versions[i+1].Major)
+		}
+		if !got.Equal(to) {
+			t.Fatalf("v%d→v%d: self-transfer diverged:\n got UA %s\nwant UA %s",
+				versions[i].Major, versions[i+1].Major, got.UserAgent, to.UserAgent)
+		}
+	}
+}
+
+// Property: a transferred delta is idempotent on hash features — once
+// the new hash is adopted, re-applying changes nothing further.
+func TestTransferDeltaHashIdempotent(t *testing.T) {
+	a := baseFP()
+	b := a.Clone()
+	b.CanvasHash = "new-canvas"
+	delta := Diff(a, b)
+	once, _ := TransferDelta(delta, a)
+	twice, _ := TransferDelta(delta, once)
+	if once.CanvasHash != "new-canvas" || twice.CanvasHash != "new-canvas" {
+		t.Fatalf("hash transfer not idempotent: %q then %q", once.CanvasHash, twice.CanvasHash)
+	}
+}
+
+// Property: set-delta transfer is idempotent — adding the same fonts
+// twice leaves the list unchanged.
+func TestTransferDeltaSetIdempotent(t *testing.T) {
+	a := baseFP()
+	b := a.Clone()
+	b.Fonts = fingerprint.AddFonts(b.Fonts, []string{"MT Extra"})
+	delta := Diff(a, b)
+	once, _ := TransferDelta(delta, a)
+	twice, _ := TransferDelta(delta, once)
+	if len(once.Fonts) != len(twice.Fonts) {
+		t.Fatalf("set transfer not idempotent: %v vs %v", once.Fonts, twice.Fonts)
+	}
+}

@@ -1,0 +1,190 @@
+package dynamics
+
+import "sort"
+
+// Breakdown aggregates classified dynamics into the quantities Table 2
+// reports: the share of changes per category/cause and the share of
+// browser instances exhibiting each.
+type Breakdown struct {
+	// TotalInstances is the number of browser instances in the dataset
+	// (visiting once or more).
+	TotalInstances int
+	// TotalChanged is the number of dynamics with a core fingerprint
+	// change — the denominator of the "% of Changes" column.
+	TotalChanged int
+	// InstancesWithChange counts instances with at least one change —
+	// Table 2's bottom-right 62.32% cell.
+	InstancesWithChange int
+
+	// PureCategory counts dynamics whose causes fall in exactly one
+	// category; Combo counts the composite rows.
+	PureCategory map[Category]int
+	Combo        map[string]int
+
+	// CauseChanges / CauseInstances count per fine-grained cause.
+	CauseChanges   map[Cause]int
+	CauseInstances map[Cause]int
+
+	// CategoryChanges / CategoryInstances count dynamics/instances
+	// containing the category at all (composites included).
+	CategoryChanges   map[Category]int
+	CategoryInstances map[Category]int
+
+	// Unclassified counts changed dynamics the classifier could not
+	// attribute to any cause.
+	Unclassified int
+
+	// BrowserUpdatesByFamily breaks browser-update dynamics down by
+	// browser family (Table 2's Chrome/Firefox/… sub-rows), and
+	// OSUpdatesByOS by OS family (its iOS/Android/… sub-rows).
+	BrowserUpdatesByFamily map[string]int
+	OSUpdatesByOS          map[string]int
+	// BrowserUpdateInstancesByFamily / OSUpdateInstancesByOS count
+	// distinct browser IDs per sub-row.
+	BrowserUpdateInstancesByFamily map[string]int
+	OSUpdateInstancesByOS          map[string]int
+}
+
+// ComboLabel renders a composite category set as a Table 2 row label.
+func ComboLabel(cats []Category) string {
+	switch len(cats) {
+	case 0:
+		return "None"
+	case 1:
+		return string(cats[0])
+	}
+	names := make([]string, len(cats))
+	for i, c := range cats {
+		names[i] = string(c)
+	}
+	return joinPlus(names)
+}
+
+func joinPlus(names []string) string {
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " + " + n
+	}
+	return out
+}
+
+// Analyze classifies every piece of dynamics and aggregates the
+// Table 2 quantities. totalInstances is the full instance count
+// (including single-visit instances, which can never show dynamics).
+func Analyze(dyns []*Dynamics, cl *Classifier, totalInstances int) *Breakdown {
+	b := &Breakdown{
+		TotalInstances:                 totalInstances,
+		PureCategory:                   make(map[Category]int),
+		Combo:                          make(map[string]int),
+		CauseChanges:                   make(map[Cause]int),
+		CauseInstances:                 make(map[Cause]int),
+		CategoryChanges:                make(map[Category]int),
+		CategoryInstances:              make(map[Category]int),
+		BrowserUpdatesByFamily:         make(map[string]int),
+		OSUpdatesByOS:                  make(map[string]int),
+		BrowserUpdateInstancesByFamily: make(map[string]int),
+		OSUpdateInstancesByOS:          make(map[string]int),
+	}
+	instCause := make(map[Cause]map[string]bool)
+	instCat := make(map[Category]map[string]bool)
+	instChanged := make(map[string]bool)
+	instFam := make(map[string]map[string]bool)
+	instOS := make(map[string]map[string]bool)
+
+	for _, d := range dyns {
+		if !d.CoreChanged() {
+			continue
+		}
+		b.TotalChanged++
+		instChanged[d.BrowserID] = true
+		c := cl.Classify(d)
+		if c.Empty() {
+			b.Unclassified++
+			continue
+		}
+		cats := c.Categories()
+		if len(cats) == 1 {
+			b.PureCategory[cats[0]]++
+		} else {
+			b.Combo[ComboLabel(cats)]++
+		}
+		for _, cat := range cats {
+			b.CategoryChanges[cat]++
+			if instCat[cat] == nil {
+				instCat[cat] = make(map[string]bool)
+			}
+			instCat[cat][d.BrowserID] = true
+		}
+		for _, cause := range c.Causes {
+			b.CauseChanges[cause]++
+			if instCause[cause] == nil {
+				instCause[cause] = make(map[string]bool)
+			}
+			instCause[cause][d.BrowserID] = true
+		}
+		// Per-family sub-rows, keyed by the browser/OS the instance runs
+		// (the "to" record's parsed identity).
+		if c.Has(CauseBrowserUpdate) {
+			fam := d.To.Browser
+			b.BrowserUpdatesByFamily[fam]++
+			if instFam[fam] == nil {
+				instFam[fam] = make(map[string]bool)
+			}
+			instFam[fam][d.BrowserID] = true
+		}
+		if c.Has(CauseOSUpdate) {
+			os := d.To.OS
+			b.OSUpdatesByOS[os]++
+			if instOS[os] == nil {
+				instOS[os] = make(map[string]bool)
+			}
+			instOS[os][d.BrowserID] = true
+		}
+	}
+	b.InstancesWithChange = len(instChanged)
+	for cause, set := range instCause {
+		b.CauseInstances[cause] = len(set)
+	}
+	for cat, set := range instCat {
+		b.CategoryInstances[cat] = len(set)
+	}
+	for fam, set := range instFam {
+		b.BrowserUpdateInstancesByFamily[fam] = len(set)
+	}
+	for os, set := range instOS {
+		b.OSUpdateInstancesByOS[os] = len(set)
+	}
+	return b
+}
+
+// PctChanges returns n as a percentage of total changed dynamics.
+func (b *Breakdown) PctChanges(n int) float64 {
+	if b.TotalChanged == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(b.TotalChanged)
+}
+
+// PctInstances returns n as a percentage of all instances.
+func (b *Breakdown) PctInstances(n int) float64 {
+	if b.TotalInstances == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(b.TotalInstances)
+}
+
+// ComboLabels returns the composite row labels sorted by descending
+// count (stable for reports).
+func (b *Breakdown) ComboLabels() []string {
+	labels := make([]string, 0, len(b.Combo))
+	for l := range b.Combo {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if b.Combo[labels[i]] != b.Combo[labels[j]] {
+			return b.Combo[labels[i]] > b.Combo[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	return labels
+}

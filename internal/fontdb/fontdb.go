@@ -1,0 +1,153 @@
+// Package fontdb holds the font signature lists of the paper's
+// Appendix A: the fonts that specific software installations add to a
+// system. The population simulator uses them to mutate font lists when
+// simulated software is installed or updated, and the inference
+// analyses (Insight 1.2) use them in the opposite direction, to detect
+// those installations from fingerprint dynamics.
+package fontdb
+
+// OfficeDetect is the 96-font list the paper uses to detect a Microsoft
+// Office Pro Plus 2013 installation (Appendix A.1, second list). It is
+// the subset of Office-installed fonts the fingerprinting tool queries.
+var OfficeDetect = []string{
+	"Bodoni MT Condensed", "Stencil", "Perpetua Titling MT", "Haettenschweiler",
+	"Matura MT Script Capitals", "Elephant", "Gill Sans MT Ext Condensed Bold",
+	"Palace Script MT", "Modern No. 20", "Perpetua", "Wide Latin", "Kunstler Script",
+	"Rockwell Extra Bold", "Bell MT", "Harrington", "Vivaldi", "Gill Sans Ultra Bold",
+	"Bookshelf Symbol 7", "Rage Italic", "Agency FB", "Eras Bold ITC",
+	"Old English Text MT", "Broadway", "Copperplate Gothic Light", "Snap ITC",
+	"Forte", "Gigi", "Rockwell Condensed", "Colonna MT", "Bauhaus 93", "Poor Richard",
+	"Gill Sans MT", "Centaur", "MS Reference Specialty", "Imprint MT Shadow",
+	"Copperplate Gothic Bold", "Playbill", "Harlow Solid Italic", "Footlight MT Light",
+	"Viner Hand ITC", "Bradley Hand ITC", "Calisto MT", "Eras Light ITC", "Parchment",
+	"Bodoni MT Black", "Engravers MT", "Mistral", "Goudy Stout", "Pristina",
+	"Brush Script MT", "High Tower Text", "Niagara Solid", "Ravie",
+	"Gill Sans MT Condensed", "Informal Roman", "Algerian", "Maiandra GD",
+	"Tw Cen MT Condensed", "Edwardian Script ITC", "Britannic Bold", "OCR A Extended",
+	"Bodoni MT Poster Compressed", "Tempus Sans ITC", "Eras Demi ITC", "Jokerman",
+	"Niagara Engraved", "Magneto", "French Script MT", "Tw Cen MT",
+	"Berlin Sans FB Demi", "Tw Cen MT Condensed Extra Bold", "Castellar",
+	"Script MT Bold", "Freestyle Script", "Blackadder ITC",
+	"Gloucester MT Extra Condensed", "Bernard MT Condensed", "Curlz MT",
+	"Felix Titling", "Baskerville Old Face", "Vladimir Script", "Rockwell", "Onyx",
+	"Kristen ITC", "Bodoni MT", "Cooper Black", "Eras Medium ITC", "Californian FB",
+	"Goudy Old Style", "Gill Sans Ultra Bold Condensed", "Papyrus", "Chiller",
+	"Showcard Gothic", "Juice ITC", "Berlin Sans FB", "MT Extra",
+}
+
+// MTExtra is the single font whose *addition* in early 2018 reveals a
+// Microsoft Office update to Version 1705/1708/1711 (released
+// 2018-01-09); Insight 1.2's first example.
+const MTExtra = "MT Extra"
+
+// LibreOffice is the font list added by a LibreOffice 6 installation
+// (Appendix A.3).
+var LibreOffice = []string{
+	"Miriam Mono CLM", "Noto Sans Lisu", "Scheherazade", "Linux Libertine Display G",
+	"EmojiOne Color", "Noto Naskh Arabic", "Linux Biolinum G", "Source Code Pro Black",
+	"Noto Sans Light", "Frank Ruehl CLM", "Caladea", "Noto Serif", "OpenSymbol",
+	"Rubik", "Noto Sans Georgian", "Noto Sans Lao", "Liberation Sans",
+	"Source Code Pro Light", "Noto Serif Lao", "DejaVu Serif Condensed", "KacstBook",
+	"DejaVu Sans Light", "Reem Kufi Regular", "Source Code Pro Semibold",
+	"Noto Naskh Arabic UI", "Source Sans Pro Black", "Gentium Basic",
+	"DejaVu Math TeX Gyre", "Source Code Pro ExtraLight", "Noto Kufi Arabic",
+	"Noto Sans Hebrew", "Amiri", "Source Sans Pro Semibold", "Miriam CLM",
+	"Source Code Pro", "Source Sans Pro", "Noto Sans Cond", "Liberation Serif",
+	"KacstOffice", "Source Code Pro Medium", "DejaVu Sans", "Liberation Mono",
+	"Noto Serif Armenian", "Alef", "Gentium Book Basic", "David Libre",
+	"Noto Sans Armenian", "Noto Serif Cond", "Linux Libertine G",
+	"Liberation Sans Narrow", "DejaVu Sans Condensed", "Source Sans Pro ExtraLight",
+	"DejaVu Sans Mono", "Noto Sans Arabic UI", "Noto Serif Georgian", "Noto Mono",
+	"David CLM", "Carlito", "Amiri Quran", "DejaVu Serif", "Noto Serif Hebrew",
+	"Noto Serif Light", "Source Sans Pro Light", "Noto Sans", "Noto Sans Arabic",
+}
+
+// Adobe is the font set an Adobe software installation/update adds. The
+// paper does not enumerate it; this is the well-known Adobe-bundled set,
+// enough to act as a distinctive signature.
+var Adobe = []string{
+	"Adobe Arabic", "Adobe Caslon Pro", "Adobe Devanagari", "Adobe Fan Heiti Std",
+	"Adobe Garamond Pro", "Adobe Gothic Std", "Adobe Hebrew", "Adobe Heiti Std",
+	"Adobe Kaiti Std", "Adobe Ming Std", "Adobe Myungjo Std", "Adobe Naskh",
+	"Adobe Song Std", "Kozuka Gothic Pro", "Kozuka Mincho Pro", "Letter Gothic Std",
+	"Minion Pro", "Myriad Arabic", "Myriad Hebrew", "Myriad Pro",
+}
+
+// WPS is the font set a WPS Office installation adds (Kingsoft's
+// bundled fonts; a representative signature).
+var WPS = []string{
+	"WPS Special 1", "WPS Special 2", "WPS Special 3", "FZShuTi", "FZYaoTi",
+	"STCaiyun", "STFangsong", "STHupo", "STKaiti", "STLiti", "STSong", "STXihei",
+	"STXingkai", "STXinwei", "STZhongsong",
+}
+
+// Firefox57 is the list of fonts newly *detectable* after a Firefox 57
+// update (Appendix A.4) — the browser's font enumeration changed, so
+// these system fonts start appearing in fingerprints.
+var Firefox57 = []string{
+	"Arial Black", "Arial Narrow", "Arial Rounded MT Bold", "Segoe UI Light",
+	"Segoe UI Semibold", "Berlin Sans FB Demi", "Bernard MT Condensed",
+	"Bodoni MT Black", "Bodoni MT Condensed", "Bodoni MT Poster Compressed",
+	"Britannic Bold", "Cooper Black", "Copperplate Gothic Bold",
+	"Copperplate Gothic Light", "Footlight MT Light", "Gill Sans MT Condensed",
+	"Gill Sans MT Ext Condensed Bold", "Gill Sans Ultra Bold",
+	"Gill Sans Ultra Bold Condensed", "Harlow Solid Italic", "OCR A Extended",
+	"Rage Italic", "Rockwell Condensed", "Rockwell Extra Bold", "Script MT Bold",
+	"Tw Cen MT Condensed", "Tw Cen MT Condensed Extra Bold",
+}
+
+// Base font sets per OS family: the pre-installed fonts every instance
+// of that platform reports before any software is installed.
+var (
+	BaseWindows = []string{
+		"Arial", "Arial Black", "Calibri", "Cambria", "Candara", "Comic Sans MS",
+		"Consolas", "Constantia", "Corbel", "Courier New", "Ebrima",
+		"Franklin Gothic Medium", "Gabriola", "Georgia", "Impact", "Lucida Console",
+		"Lucida Sans Unicode", "Malgun Gothic", "Microsoft Sans Serif", "MingLiU",
+		"Palatino Linotype", "Segoe Print", "Segoe Script", "Segoe UI", "SimSun",
+		"Sylfaen", "Symbol", "Tahoma", "Times New Roman", "Trebuchet MS", "Verdana",
+		"Webdings", "Wingdings",
+	}
+	BaseMac = []string{
+		"American Typewriter", "Andale Mono", "Arial", "Arial Black", "Avenir",
+		"Avenir Next", "Baskerville", "Big Caslon", "Chalkboard", "Cochin",
+		"Copperplate", "Courier", "Courier New", "Didot", "Futura", "Geneva",
+		"Georgia", "Gill Sans", "Helvetica", "Helvetica Neue", "Hoefler Text",
+		"Impact", "Lucida Grande", "Menlo", "Monaco", "Optima", "Palatino",
+		"San Francisco", "Skia", "Times", "Times New Roman", "Trebuchet MS",
+		"Verdana", "Zapfino",
+	}
+	BaseLinux = []string{
+		"Bitstream Vera Sans", "C059", "Cantarell", "DejaVu Sans", "DejaVu Sans Mono",
+		"DejaVu Serif", "FreeMono", "FreeSans", "FreeSerif", "Liberation Mono",
+		"Liberation Sans", "Liberation Serif", "Nimbus Mono PS", "Nimbus Roman",
+		"Nimbus Sans", "Noto Sans", "Noto Serif", "Ubuntu", "Ubuntu Condensed",
+		"Ubuntu Mono", "URW Bookman",
+	}
+	BaseIOS = []string{
+		"American Typewriter", "Arial", "Avenir", "Avenir Next", "Baskerville",
+		"Chalkboard SE", "Courier New", "Georgia", "Gill Sans", "Helvetica",
+		"Helvetica Neue", "Hoefler Text", "Menlo", "Optima", "Palatino",
+		"San Francisco", "Times New Roman", "Trebuchet MS", "Verdana",
+	}
+	BaseAndroid = []string{
+		"Carrois Gothic SC", "Coming Soon", "Cutive Mono", "Dancing Script",
+		"Droid Sans", "Droid Sans Mono", "Droid Serif", "Noto Sans", "Noto Serif",
+		"Roboto", "Roboto Condensed",
+	}
+)
+
+// OptionalWindows are fonts a Windows machine may or may not have
+// (installed by third-party software over the years); the simulator
+// samples a per-instance subset, which is the main entropy source that
+// makes the font list the most fingerprintable feature in Table 1.
+var OptionalWindows = []string{
+	"AR BERKLEY", "AR JULIAN", "Bahnschrift", "Book Antiqua", "Bookman Old Style",
+	"Century", "Century Gothic", "Century Schoolbook", "Garamond", "Gadugi",
+	"Haettenschweiler", "HoloLens MDL2 Assets", "Javanese Text", "Leelawadee",
+	"Lucida Bright", "Lucida Calligraphy", "Lucida Fax", "Lucida Handwriting",
+	"Lucida Sans", "Lucida Sans Typewriter", "Microsoft YaHei", "Monotype Corsiva",
+	"MS Gothic", "MS Outlook", "MS Reference Sans Serif", "MV Boli", "Nirmala UI",
+	"NSimSun", "Segoe MDL2 Assets", "Segoe UI Emoji", "Segoe UI Historic",
+	"Segoe UI Symbol", "SimHei", "Yu Gothic",
+}

@@ -1,0 +1,75 @@
+package fpstalker
+
+import (
+	"testing"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/population"
+	"fpdyn/internal/useragent"
+)
+
+func TestChainEvaluatePerfectLinker(t *testing.T) {
+	// Replay a single instance that never changes: one chain, full
+	// purity, tracking duration = full window.
+	r1 := chromeRecord(useragent.V(63, 0, 3239, 132), tBase)
+	r2 := chromeRecord(useragent.V(63, 0, 3239, 132), tBase.Add(24*time.Hour))
+	r3 := chromeRecord(useragent.V(63, 0, 3239, 132), tBase.Add(48*time.Hour))
+	res := ChainEvaluate(NewRuleLinker(), []*fingerprint.Record{r1, r2, r3}, []int{1, 1, 1})
+	if res.Chains != 1 || res.TrueInstances != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.AvgChainPurity != 1 {
+		t.Fatalf("purity = %v", res.AvgChainPurity)
+	}
+	if res.AvgTrackingDuration != 48*time.Hour {
+		t.Fatalf("duration = %v", res.AvgTrackingDuration)
+	}
+}
+
+func TestChainEvaluateSplitOnStorageToggle(t *testing.T) {
+	// The Figure 11(b) FN splits a chain: tracking duration collapses.
+	r1 := chromeRecord(useragent.V(63, 0, 3239, 132), tBase)
+	r2 := chromeRecord(useragent.V(63, 0, 3239, 132), tBase.Add(24*time.Hour))
+	r2.FP.CookieEnabled, r2.FP.LocalStorage = false, false
+	res := ChainEvaluate(NewRuleLinker(), []*fingerprint.Record{r1, r2}, []int{1, 1})
+	if res.Chains != 2 {
+		t.Fatalf("chains = %d, want 2 (split)", res.Chains)
+	}
+	if res.AvgTrackingDuration != 0 {
+		t.Fatalf("duration = %v, want 0 after split", res.AvgTrackingDuration)
+	}
+}
+
+func TestChainEvaluateOnWorld(t *testing.T) {
+	records, instances := trainWorld(t, 600, 61)
+	res := ChainEvaluate(NewRuleLinker(), records, instances)
+	t.Logf("chains=%d true=%d avg-duration=%v purity=%.3f split=%.2f",
+		res.Chains, res.TrueInstances, res.AvgTrackingDuration, res.AvgChainPurity, res.SplitRatio)
+	if res.TrueInstances == 0 || res.Chains == 0 {
+		t.Fatal("no chains")
+	}
+	if res.AvgChainPurity < 0.8 {
+		t.Errorf("purity %.3f suspiciously low", res.AvgChainPurity)
+	}
+	if res.AvgTrackingDuration <= 0 {
+		t.Error("no tracking duration at all")
+	}
+}
+
+func TestChainEvaluateEmpty(t *testing.T) {
+	res := ChainEvaluate(NewRuleLinker(), nil, nil)
+	if res.Chains != 0 || res.TrueInstances != 0 {
+		t.Fatalf("empty res = %+v", res)
+	}
+}
+
+func BenchmarkChainEvaluate(b *testing.B) {
+	cfg := population.DefaultConfig(500)
+	ds := population.Simulate(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChainEvaluate(NewRuleLinker(), ds.Records, ds.TrueInstance)
+	}
+}

@@ -1,0 +1,115 @@
+package fpstalker
+
+import (
+	"fmt"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+)
+
+// EvalResult aggregates a linking evaluation run (the Figure 9/10
+// quantities).
+type EvalResult struct {
+	Queries int
+	TP      int // truth was in the top-k candidates
+	FN      int // truth was in the DB but missed
+	FP      int // candidates returned that hid or displaced the truth
+	TN      int // new instance correctly given no candidates
+
+	DBSize        int           // instances known at the end
+	MeanMatchTime time.Duration // mean TopK latency
+}
+
+// Precision is TP / (TP + FP).
+func (r EvalResult) Precision() float64 {
+	if r.TP+r.FP == 0 {
+		return 0
+	}
+	return float64(r.TP) / float64(r.TP+r.FP)
+}
+
+// Recall is TP / (TP + FN).
+func (r EvalResult) Recall() float64 {
+	if r.TP+r.FN == 0 {
+		return 0
+	}
+	return float64(r.TP) / float64(r.TP+r.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (r EvalResult) F1() float64 {
+	p, rec := r.Precision(), r.Recall()
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}
+
+// InstanceID renders the canonical evaluation identity for a true
+// instance serial.
+func InstanceID(serial int) string { return fmt.Sprintf("i%d", serial) }
+
+// Evaluate replays a labelled record stream against the linker: each
+// record is first used as a query (if its instance was seen before, the
+// truth must appear in the top-k; if it is new, the linker should
+// return nothing), then registered under its true identity. This is
+// the FP-Stalker evaluation protocol at the heart of Figure 10.
+func Evaluate(l Linker, records []*fingerprint.Record, instances []int, k int) EvalResult {
+	var res EvalResult
+	seen := make(map[int]bool)
+	var totalTime time.Duration
+	for i, rec := range records {
+		inst := instances[i]
+		trueID := InstanceID(inst)
+
+		start := time.Now()
+		cands := l.TopK(rec, k)
+		totalTime += time.Since(start)
+		res.Queries++
+
+		if seen[inst] {
+			hit := false
+			for _, c := range cands {
+				if c.ID == trueID {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				res.TP++
+			} else {
+				res.FN++
+				if len(cands) > 0 {
+					res.FP++
+				}
+			}
+		} else {
+			if len(cands) == 0 {
+				res.TN++
+			} else {
+				res.FP++
+			}
+		}
+
+		l.Add(trueID, rec)
+		seen[inst] = true
+	}
+	res.DBSize = l.Len()
+	if res.Queries > 0 {
+		res.MeanMatchTime = totalTime / time.Duration(res.Queries)
+	}
+	return res
+}
+
+// TimeMatching measures the mean TopK latency of l for the given
+// queries without mutating the database — the Figure 9 measurement.
+func TimeMatching(l Linker, queries []*fingerprint.Record, k int) time.Duration {
+	if len(queries) == 0 {
+		return 0
+	}
+	start := time.Now()
+	for _, q := range queries {
+		l.TopK(q, k)
+	}
+	return time.Since(start) / time.Duration(len(queries))
+}

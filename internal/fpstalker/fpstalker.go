@@ -1,0 +1,81 @@
+// Package fpstalker reimplements the FP-Stalker baseline (Vastel et
+// al., IEEE S&P 2018): linking evolved browser fingerprints to known
+// browser instances, in both its rule-based and learning-based
+// variants. The paper under reproduction evaluates FP-Stalker at
+// dataset scale and finds that both variants degrade badly — matching
+// time grows linearly with the database (Figure 9) and F1 falls
+// (Figure 10) — and documents characteristic false positives/negatives
+// (Figure 11). This package reproduces the algorithms and the
+// evaluation harness behind those figures.
+package fpstalker
+
+import (
+	"sort"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/useragent"
+)
+
+// Candidate is one ranked linking candidate.
+type Candidate struct {
+	ID    string
+	Score float64
+}
+
+// Linker is the common interface of both variants.
+type Linker interface {
+	// TopK returns up to k candidate browser IDs for the query, ranked
+	// best first. An empty result means "new browser instance".
+	TopK(rec *fingerprint.Record, k int) []Candidate
+	// Add registers rec as the latest fingerprint of instance id.
+	Add(id string, rec *fingerprint.Record)
+	// Len returns the number of known instances.
+	Len() int
+}
+
+// entry is the last known fingerprint of one instance, with
+// preparsed fields the rules consult on every comparison.
+type entry struct {
+	id  string
+	rec *fingerprint.Record
+	ua  useragent.UA
+	ok  bool // ua parsed
+}
+
+func newEntry(id string, rec *fingerprint.Record) *entry {
+	e := &entry{id: id, rec: rec}
+	if ua, err := useragent.Parse(rec.FP.UserAgent); err == nil {
+		e.ua, e.ok = ua, true
+	}
+	return e
+}
+
+// countFeatureDiffs counts differing non-IP schema features between two
+// fingerprints, and separately the differing members of the
+// rarely-changing set (canvas, fonts, GPU renderer, GPU images).
+func countFeatureDiffs(a, b *fingerprint.Fingerprint) (total, rare int) {
+	for _, d := range fingerprint.Schema {
+		if d.IsIP {
+			continue
+		}
+		if a.Value(d.ID).Key() != b.Value(d.ID).Key() {
+			total++
+			switch d.ID {
+			case fingerprint.FeatCanvas, fingerprint.FeatFontList,
+				fingerprint.FeatGPURenderer, fingerprint.FeatGPUImage:
+				rare++
+			}
+		}
+	}
+	return total, rare
+}
+
+// sortCandidates orders best-first with a deterministic tiebreak.
+func sortCandidates(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].ID < cands[j].ID
+	})
+}

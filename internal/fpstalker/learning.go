@@ -1,0 +1,218 @@
+package fpstalker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/mlearn"
+	"fpdyn/internal/useragent"
+)
+
+// LearnLinker is the learning-based FP-Stalker variant: a random
+// forest scores (known fingerprint, query fingerprint) pairs on a
+// similarity feature vector; candidates above Threshold are ranked by
+// probability. Candidate generation still prefilters on browser
+// family (as the original does), but each surviving pair costs a
+// feature-vector build plus a forest evaluation — the source of the
+// scalability wall the paper reports.
+type LearnLinker struct {
+	Forest *mlearn.Forest
+	// Threshold is the minimum link probability (default 0.5).
+	Threshold float64
+
+	entries []*entry
+	byID    map[string]int
+}
+
+// NewLearnLinker wraps a trained pair model.
+func NewLearnLinker(f *mlearn.Forest) *LearnLinker {
+	return &LearnLinker{Forest: f, Threshold: 0.5, byID: make(map[string]int)}
+}
+
+// Len implements Linker.
+func (l *LearnLinker) Len() int { return len(l.entries) }
+
+// Add implements Linker.
+func (l *LearnLinker) Add(id string, rec *fingerprint.Record) {
+	e := newEntry(id, rec)
+	if i, ok := l.byID[id]; ok {
+		l.entries[i] = e
+		return
+	}
+	l.entries = append(l.entries, e)
+	l.byID[id] = len(l.entries) - 1
+}
+
+// TopK implements Linker.
+func (l *LearnLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	qUA, err := useragent.Parse(rec.FP.UserAgent)
+	qOK := err == nil
+	var cands []Candidate
+	for _, e := range l.entries {
+		// Prefilter: browser family must match when both parse.
+		if qOK && e.ok && (qUA.Browser != e.ua.Browser || qUA.Mobile != e.ua.Mobile) {
+			continue
+		}
+		p := l.Forest.PredictProba(PairVector(e.rec, rec))
+		if p >= l.Threshold {
+			cands = append(cands, Candidate{ID: e.id, Score: p})
+		}
+	}
+	sortCandidates(cands)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// NumPairFeatures is the dimensionality of PairVector.
+const NumPairFeatures = 16
+
+// PairFeatureNames labels PairVector's dimensions, in order — used to
+// report the trained model's feature importances.
+var PairFeatureNames = [NumPairFeatures]string{
+	"same browser family",
+	"browser version movement",
+	"OS version movement",
+	"canvas equal",
+	"GPU image equal",
+	"font Jaccard",
+	"plugin Jaccard",
+	"language Jaccard",
+	"screen equal",
+	"timezone equal",
+	"storage toggles equal",
+	"GPU renderer equal",
+	"audio equal",
+	"total diff fraction",
+	"rare diff fraction",
+	"time gap",
+}
+
+// PairVector builds the similarity feature vector for a (known, query)
+// fingerprint pair — per-feature equality indicators, Jaccard
+// similarities for set features, version movement, and the time gap —
+// the same flavour of features the original FP-Stalker model uses.
+func PairVector(known, query *fingerprint.Record) []float64 {
+	a, b := known.FP, query.FP
+	eq := func(cond bool) float64 {
+		if cond {
+			return 1
+		}
+		return 0
+	}
+	var verAdvance, osAdvance, sameFamily float64
+	ua1, err1 := useragent.Parse(a.UserAgent)
+	ua2, err2 := useragent.Parse(b.UserAgent)
+	if err1 == nil && err2 == nil {
+		sameFamily = eq(ua1.Browser == ua2.Browser)
+		switch ua2.BrowserVersion.Compare(ua1.BrowserVersion) {
+		case 0:
+			verAdvance = 1 // same version
+		case 1:
+			verAdvance = 0.5 // plausible update
+		default:
+			verAdvance = 0 // downgrade
+		}
+		switch ua2.OSVersion.Compare(ua1.OSVersion) {
+		case 0:
+			osAdvance = 1
+		case 1:
+			osAdvance = 0.5
+		default:
+			osAdvance = 0
+		}
+	}
+	gapDays := 0.0
+	if !known.Time.IsZero() && !query.Time.IsZero() {
+		gapDays = math.Abs(query.Time.Sub(known.Time).Hours()) / 24
+	}
+	total, rare := countFeatureDiffs(a, b)
+	return []float64{
+		sameFamily,
+		verAdvance,
+		osAdvance,
+		eq(a.CanvasHash == b.CanvasHash),
+		eq(a.GPUImageHash == b.GPUImageHash),
+		jaccard(a.Fonts, b.Fonts),
+		jaccard(a.Plugins, b.Plugins),
+		jaccard(a.Languages, b.Languages),
+		eq(a.ScreenResolution == b.ScreenResolution),
+		eq(a.TimezoneOffset == b.TimezoneOffset),
+		eq(a.CookieEnabled == b.CookieEnabled && a.LocalStorage == b.LocalStorage),
+		eq(a.GPURenderer == b.GPURenderer),
+		eq(a.AudioInfo == b.AudioInfo),
+		float64(total) / float64(fingerprint.NumFeatures),
+		float64(rare) / 4,
+		math.Min(gapDays/120, 1),
+	}
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[string]bool, len(a))
+	for _, s := range a {
+		set[s] = true
+	}
+	inter := 0
+	for _, s := range b {
+		if set[s] {
+			inter++
+		}
+	}
+	union := len(set) + len(b) - inter
+	// Note: len(b) may double-count duplicates; feature lists are
+	// deduplicated upstream so this is exact in practice.
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TrainPairModel builds a training set from a labelled record stream
+// (records in time order with their true instance IDs) and fits the
+// forest: consecutive fingerprints of one instance are positives;
+// fingerprints of other instances sampled at the same time are
+// negatives.
+func TrainPairModel(records []*fingerprint.Record, instances []int, cfg mlearn.ForestConfig) (*mlearn.Forest, error) {
+	if len(records) != len(instances) {
+		return nil, fmt.Errorf("fpstalker: %d records but %d instance labels", len(records), len(instances))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	last := make(map[int]*fingerprint.Record)
+	var X [][]float64
+	var y []int
+	var pool []*fingerprint.Record // recent records for negative sampling
+	for i, rec := range records {
+		inst := instances[i]
+		if prev, ok := last[inst]; ok {
+			X = append(X, PairVector(prev, rec))
+			y = append(y, 1)
+			// Two negatives per positive keeps classes balanced enough.
+			for n := 0; n < 2 && len(pool) > 1; n++ {
+				neg := pool[rng.Intn(len(pool))]
+				if neg == prev {
+					continue
+				}
+				X = append(X, PairVector(neg, rec))
+				y = append(y, 0)
+			}
+		}
+		last[inst] = rec
+		pool = append(pool, rec)
+		if len(pool) > 4096 {
+			pool = pool[len(pool)-4096:]
+		}
+	}
+	if len(X) == 0 {
+		return nil, fmt.Errorf("fpstalker: no training pairs (need repeat visits)")
+	}
+	return mlearn.TrainForest(X, y, cfg)
+}

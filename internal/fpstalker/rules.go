@@ -1,0 +1,173 @@
+package fpstalker
+
+import (
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/useragent"
+)
+
+// RuleLinker is the rule-based FP-Stalker variant: a cascade of
+// hand-crafted constraints filters candidates, then the surviving ones
+// are ranked by feature similarity.
+//
+// The rules follow the original paper:
+//
+//  1. exact match wins immediately (optionally served from a hash
+//     index — the paper's Advice 6 caching suggestion; disable with
+//     NoExactIndex for the ablation);
+//  2. the candidate must share browser family, OS family and platform;
+//  3. the browser version must not move backwards;
+//  4. a small set of user-controlled "must equal" features (cookie and
+//     localStorage support) must match — which is exactly why storage
+//     toggles produce the paper's Figure 11(b) false negative;
+//  5. at most 2 of the rarely-changing features (canvas, fonts, GPU
+//     renderer, GPU image) and at most MaxDiffs features overall may
+//     differ.
+//
+// Hardware features like CPU cores are deliberately NOT constrained —
+// reproducing the Figure 11(c) false positive the paper reports.
+type RuleLinker struct {
+	// MaxDiffs is the overall differing-feature budget (default 5).
+	MaxDiffs int
+	// NoExactIndex disables the exact-match hash index, forcing the
+	// full linear scan even for identical fingerprints (ablation).
+	NoExactIndex bool
+
+	entries []*entry
+	byID    map[string]int   // instance id → index in entries
+	byHash  map[uint64][]int // fingerprint hash → entry indexes
+}
+
+// NewRuleLinker returns an empty rule-based linker.
+func NewRuleLinker() *RuleLinker {
+	return &RuleLinker{
+		MaxDiffs: 5,
+		byID:     make(map[string]int),
+		byHash:   make(map[uint64][]int),
+	}
+}
+
+// Len implements Linker.
+func (l *RuleLinker) Len() int { return len(l.entries) }
+
+// Add implements Linker: rec becomes the last known fingerprint of id.
+func (l *RuleLinker) Add(id string, rec *fingerprint.Record) {
+	e := newEntry(id, rec)
+	if i, ok := l.byID[id]; ok {
+		oldHash := l.entries[i].rec.FP.Hash(false)
+		l.entries[i] = e
+		l.removeHash(oldHash, i)
+		l.addHash(rec.FP.Hash(false), i)
+		return
+	}
+	l.entries = append(l.entries, e)
+	i := len(l.entries) - 1
+	l.byID[id] = i
+	l.addHash(rec.FP.Hash(false), i)
+}
+
+func (l *RuleLinker) addHash(h uint64, i int) {
+	l.byHash[h] = append(l.byHash[h], i)
+}
+
+func (l *RuleLinker) removeHash(h uint64, i int) {
+	s := l.byHash[h]
+	for k, v := range s {
+		if v == i {
+			s[k] = s[len(s)-1]
+			l.byHash[h] = s[:len(s)-1]
+			break
+		}
+	}
+	if len(l.byHash[h]) == 0 {
+		delete(l.byHash, h)
+	}
+}
+
+// TopK implements Linker.
+func (l *RuleLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	// Rule 1: exact match via the index.
+	if !l.NoExactIndex {
+		h := rec.FP.Hash(false)
+		if idxs := l.byHash[h]; len(idxs) > 0 {
+			cands := make([]Candidate, 0, len(idxs))
+			for _, i := range idxs {
+				if l.entries[i].rec.FP.Equal(rec.FP) {
+					cands = append(cands, Candidate{ID: l.entries[i].id, Score: 1e9})
+				}
+			}
+			if len(cands) > 0 {
+				sortCandidates(cands)
+				if len(cands) > k {
+					cands = cands[:k]
+				}
+				return cands
+			}
+		}
+	}
+
+	qUA, qErr := useragent.Parse(rec.FP.UserAgent)
+	var cands []Candidate
+	for _, e := range l.entries {
+		score, ok := l.score(rec, qUA, qErr == nil, e)
+		if !ok {
+			continue
+		}
+		cands = append(cands, Candidate{ID: e.id, Score: score})
+	}
+	sortCandidates(cands)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// score applies rules 2–5 and returns the similarity score.
+func (l *RuleLinker) score(rec *fingerprint.Record, qUA useragent.UA, qOK bool, e *entry) (float64, bool) {
+	fp, cand := rec.FP, e.rec.FP
+
+	// Rule 2: same browser family / OS family / platform.
+	if qOK && e.ok {
+		if qUA.Browser != e.ua.Browser || qUA.OS != e.ua.OS || qUA.Mobile != e.ua.Mobile {
+			return 0, false
+		}
+		// Rule 3: version must not decrease.
+		if qUA.BrowserVersion.Compare(e.ua.BrowserVersion) < 0 {
+			return 0, false
+		}
+		if qUA.OSVersion.Compare(e.ua.OSVersion) < 0 {
+			return 0, false
+		}
+	} else if fp.UserAgent != cand.UserAgent {
+		// Unparseable agents must match verbatim.
+		return 0, false
+	}
+
+	// Rule 4: user-controlled storage toggles must be equal.
+	if fp.CookieEnabled != cand.CookieEnabled || fp.LocalStorage != cand.LocalStorage {
+		return 0, false
+	}
+
+	// Rule 5: difference budgets.
+	total, rare := countFeatureDiffs(fp, cand)
+	if rare > 2 || total > l.MaxDiffs {
+		return 0, false
+	}
+
+	// Rank by number of identical features; nudge with recency so ties
+	// break toward fresher entries.
+	nonIP := 0
+	for _, d := range fingerprint.Schema {
+		if !d.IsIP {
+			nonIP++
+		}
+	}
+	score := float64(nonIP - total)
+	if !e.rec.Time.IsZero() && !rec.Time.IsZero() && rec.Time.After(e.rec.Time) {
+		age := rec.Time.Sub(e.rec.Time).Hours()
+		score += 1.0 / (1.0 + age/24.0) // ≤ 1 point for recency
+	}
+	return score, true
+}

@@ -1,0 +1,50 @@
+package geoip
+
+import "testing"
+
+func TestFarFrom(t *testing.T) {
+	db := New(500)
+	berlin := 1 // Berlin's seed index
+	for start := 0; start < 500; start += 37 {
+		idx := db.FarFrom(berlin, 5000, start)
+		d := Haversine(db.CityAt(berlin), db.CityAt(idx))
+		if d < 5000 {
+			t.Fatalf("FarFrom(start=%d) = %d at %.0f km, want ≥ 5000", start, idx, d)
+		}
+	}
+}
+
+func TestFarFromNegativeStart(t *testing.T) {
+	db := New(100)
+	idx := db.FarFrom(0, 5000, -17)
+	if d := Haversine(db.CityAt(0), db.CityAt(idx)); d < 5000 {
+		t.Fatalf("negative start mishandled: %.0f km", d)
+	}
+}
+
+func TestFarFromImpossibleDistance(t *testing.T) {
+	// No city can be 50,000 km away: FarFrom falls back to the origin.
+	db := New(100)
+	if idx := db.FarFrom(7, 50000, 3); idx != 7 {
+		t.Fatalf("fallback = %d, want the origin index", idx)
+	}
+}
+
+func TestClampAndWrap(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{90, 85}, {-90, -85}, {50, 50},
+	}
+	for _, c := range cases {
+		if got := clampLat(c.in); got != c.want {
+			t.Errorf("clampLat(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	wrapCases := []struct{ in, want float64 }{
+		{190, -170}, {-190, 170}, {0, 0}, {540, 180},
+	}
+	for _, c := range wrapCases {
+		if got := wrapLon(c.in); got != c.want {
+			t.Errorf("wrapLon(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package hashutil provides the stable hashing primitives used throughout
+// the fingerprint-dynamics pipeline.
+//
+// The measurement platform hashes three kinds of objects:
+//
+//   - individual feature values (for the hash-dedup transfer protocol of
+//     the collection client, §2.2.1 of the paper),
+//   - whole fingerprints (for anonymous-set grouping, §3.1), and
+//   - canonical deltas (so that the same update applied to two different
+//     browser instances collides to the same dynamics value, §2.3.2).
+//
+// All hashes are deterministic across runs and platforms: tests, the
+// simulator and the storage server all rely on replaying a dataset and
+// getting bit-identical identifiers.
+package hashutil
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 returns the 64-bit FNV-1a hash of s. It is the workhorse hash for
+// feature values: fast, allocation-free and stable.
+func Hash64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Hash64Bytes is Hash64 over a byte slice.
+func Hash64Bytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Combine folds two 64-bit hashes into one. It is order sensitive:
+// Combine(a, b) != Combine(b, a) in general, which is what fingerprint
+// hashing needs (features are hashed in a fixed schema order).
+func Combine(a, b uint64) uint64 {
+	// Boost-style hash_combine adapted to 64 bits.
+	a ^= b + 0x9e3779b97f4a7c15 + (a << 12) + (a >> 4)
+	return a * fnvPrime64
+}
+
+// HashStrings hashes a sequence of strings in order, with a length prefix
+// per element so that ("ab","c") and ("a","bc") do not collide.
+func HashStrings(ss ...string) uint64 {
+	h := uint64(fnvOffset64)
+	var lenBuf [8]byte
+	for _, s := range ss {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		for _, c := range lenBuf {
+			h ^= uint64(c)
+			h *= fnvPrime64
+		}
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// HashSet hashes a set of strings order-independently: the same set in any
+// order hashes identically. Used for font lists and plugin lists, whose
+// collection order is not semantically meaningful.
+func HashSet(ss []string) uint64 {
+	if len(ss) == 0 {
+		return fnvOffset64
+	}
+	sorted := make([]string, len(ss))
+	copy(sorted, ss)
+	sort.Strings(sorted)
+	return HashStrings(sorted...)
+}
+
+// SHA1Hex returns the hex SHA-1 of s. The paper reports canvas hashes as
+// 40-hex-character SHA-1 values (Appendix A.2); we keep the same format so
+// reproduced reports look like the paper's.
+func SHA1Hex(s string) string {
+	sum := sha1.Sum([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// SHA1HexBytes is SHA1Hex over raw bytes.
+func SHA1HexBytes(b []byte) string {
+	sum := sha1.Sum(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Short returns an 8-hex-character prefix of the SHA-1 of s, useful as a
+// compact display identifier (anonymized user IDs in reports).
+func Short(s string) string {
+	return SHA1Hex(s)[:8]
+}

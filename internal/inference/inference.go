@@ -1,0 +1,200 @@
+// Package inference implements the paper's Insight 1 analyses: what
+// privacy- and security-relevant facts leak from fingerprints and
+// especially from their dynamics —
+//
+//   - emoji changes in one browser's canvas reveal updates of other
+//     software on the device (a co-installed Samsung Browser, a Windows
+//     security rollup) — Insight 1.1;
+//   - font list contents and changes reveal installations and updates
+//     of Microsoft Office, Adobe software, LibreOffice and WPS —
+//     Insight 1.2;
+//   - GPU image rendering maps back to masked GPU renderer/vendor
+//     identities — Insight 1.3;
+//   - impossible travel velocities between consecutive IPs reveal VPN
+//     or proxy use — Insight 1.4.
+package inference
+
+import (
+	"fpdyn/internal/canvas"
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/fontdb"
+)
+
+// EmojiLeakReport counts dynamics whose canvas change is confined to
+// the emoji band without an accompanying browser/OS update — the
+// signature of another program updating the device's emoji assets.
+type EmojiLeakReport struct {
+	// LeakingDynamics counts emoji-only canvas changes not explained by
+	// a browser or OS update, keyed by the observing browser family.
+	LeakingDynamics map[string]int
+	// LeakingInstances counts distinct affected browser IDs per family.
+	LeakingInstances map[string]int
+	// Total is the total number of such leaks.
+	Total int
+}
+
+// EmojiLeaks scans classified dynamics for cross-software emoji leaks.
+// The classifier must have image access for subtype resolution.
+func EmojiLeaks(dyns []*dynamics.Dynamics, cl *dynamics.Classifier) EmojiLeakReport {
+	rep := EmojiLeakReport{
+		LeakingDynamics:  map[string]int{},
+		LeakingInstances: map[string]int{},
+	}
+	seen := map[string]map[string]bool{}
+	for _, d := range dyns {
+		if !d.Delta.Has(fingerprint.FeatCanvas) {
+			continue
+		}
+		c := cl.Classify(d)
+		if !c.Has(dynamics.CauseCanvasEmoji) {
+			continue
+		}
+		fam := d.To.Browser
+		rep.LeakingDynamics[fam]++
+		rep.Total++
+		if seen[fam] == nil {
+			seen[fam] = map[string]bool{}
+		}
+		seen[fam][d.BrowserID] = true
+	}
+	for fam, set := range seen {
+		rep.LeakingInstances[fam] = len(set)
+	}
+	return rep
+}
+
+// SoftwareReport is the Insight 1.2 font-inference result.
+type SoftwareReport struct {
+	// OfficeUpdateInstances had the "MT Extra" font added by a dynamics
+	// (the January-2018 Office update signature).
+	OfficeUpdateInstances int
+	// OfficeInstallDynamics observed the bulk Office font set appear.
+	OfficeInstallDynamics int
+	// OfficeInstalledInstances carry the Office font signature
+	// statically (the paper: 50,869 instances).
+	OfficeInstalledInstances int
+	// AdobeInstances / LibreInstances / WPSInstances observed the
+	// corresponding install signature in dynamics.
+	AdobeInstances int
+	LibreInstances int
+	WPSInstances   int
+}
+
+// overlapCount counts how many of sig appear in add.
+func overlapCount(add []string, sig []string) int {
+	set := make(map[string]bool, len(sig))
+	for _, f := range sig {
+		set[f] = true
+	}
+	n := 0
+	for _, f := range add {
+		if set[f] {
+			n++
+		}
+	}
+	return n
+}
+
+// SoftwareFromFonts runs the font-signature inferences over dynamics
+// and, for static detection, over each instance's latest fingerprint.
+func SoftwareFromFonts(dyns []*dynamics.Dynamics, latest map[string]*fingerprint.Fingerprint) SoftwareReport {
+	var rep SoftwareReport
+	officeUpd := map[string]bool{}
+	adobe := map[string]bool{}
+	libre := map[string]bool{}
+	wps := map[string]bool{}
+	for _, d := range dyns {
+		fd := d.Delta.Field(fingerprint.FeatFontList)
+		if fd == nil {
+			continue
+		}
+		switch {
+		case len(fd.Added) == 1 && fd.Added[0] == fontdb.MTExtra:
+			officeUpd[d.BrowserID] = true
+		case overlapCount(fd.Added, fontdb.OfficeDetect) >= len(fontdb.OfficeDetect)/2:
+			rep.OfficeInstallDynamics++
+		case overlapCount(fd.Added, fontdb.Adobe) >= len(fontdb.Adobe)/2:
+			adobe[d.BrowserID] = true
+		case overlapCount(fd.Added, fontdb.LibreOffice) >= len(fontdb.LibreOffice)/2:
+			libre[d.BrowserID] = true
+		case overlapCount(fd.Added, fontdb.WPS) >= len(fontdb.WPS)/2:
+			wps[d.BrowserID] = true
+		}
+	}
+	rep.OfficeUpdateInstances = len(officeUpd)
+	rep.AdobeInstances = len(adobe)
+	rep.LibreInstances = len(libre)
+	rep.WPSInstances = len(wps)
+
+	for _, fp := range latest {
+		if overlapCount(fp.Fonts, fontdb.OfficeDetect) >= 9*len(fontdb.OfficeDetect)/10 {
+			rep.OfficeInstalledInstances++
+		}
+	}
+	return rep
+}
+
+// GPUReport is the Insight 1.3 result: how precisely GPU images map
+// back to renderers.
+type GPUReport struct {
+	DistinctImages int
+	// UniqueShare is the fraction of distinct GPU images that map to
+	// exactly one renderer (paper: 32% for Firefox images).
+	UniqueShare float64
+	// WithinThreeShare maps to at most three renderers (paper: 38%).
+	WithinThreeShare float64
+	// VendorAccuracy is, per GPU vendor, the fraction of that vendor's
+	// images mapping to a single renderer — high for dedicated GPUs
+	// (NVIDIA/Mali/PowerVR), low for integrated (Intel/AMD).
+	VendorAccuracy map[string]float64
+}
+
+// GPUInference builds the image→renderer candidate mapping from
+// observed records and scores its precision. truth maps each GPU image
+// hash to the GPU that rendered it (the simulator ground truth standing
+// in for the paper's correlation across browsers that expose the
+// renderer).
+func GPUInference(records []*fingerprint.Record, truth map[string]canvas.GPUInfo) GPUReport {
+	imageRenderers := map[string]map[string]bool{}
+	for _, r := range records {
+		h := r.FP.GPUImageHash
+		if h == "" {
+			continue
+		}
+		set := imageRenderers[h]
+		if set == nil {
+			set = map[string]bool{}
+			imageRenderers[h] = set
+		}
+		set[r.FP.GPURenderer] = true
+	}
+	rep := GPUReport{VendorAccuracy: map[string]float64{}}
+	rep.DistinctImages = len(imageRenderers)
+	if rep.DistinctImages == 0 {
+		return rep
+	}
+	unique, within3 := 0, 0
+	vendorTotal := map[string]int{}
+	vendorUnique := map[string]int{}
+	for h, set := range imageRenderers {
+		if len(set) == 1 {
+			unique++
+		}
+		if len(set) <= 3 {
+			within3++
+		}
+		if gi, ok := truth[h]; ok {
+			vendorTotal[gi.Vendor]++
+			if len(set) == 1 {
+				vendorUnique[gi.Vendor]++
+			}
+		}
+	}
+	rep.UniqueShare = float64(unique) / float64(rep.DistinctImages)
+	rep.WithinThreeShare = float64(within3) / float64(rep.DistinctImages)
+	for v, n := range vendorTotal {
+		rep.VendorAccuracy[v] = float64(vendorUnique[v]) / float64(n)
+	}
+	return rep
+}

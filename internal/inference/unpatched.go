@@ -1,0 +1,75 @@
+package inference
+
+import (
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/useragent"
+)
+
+// Insight 1.1, case 2: a 2014 Windows 7 update installed new emojis;
+// observing the corresponding canvas change reveals the patch was
+// applied — and, more importantly, instances still rendering the *old*
+// emoji have not applied a years-old security rollup. The paper works
+// from the two known canvas hash values (Appendix A.2); this analysis
+// reconstructs the hash reference set from observed update dynamics and
+// then counts unpatched instances.
+
+// PatchReport is the unpatched-instance analysis result.
+type PatchReport struct {
+	// UpdateObserved counts dynamics in which the patch's canvas
+	// transition was observed (the paper: 9).
+	UpdateObserved int
+	// OldHashes is the reconstructed reference set of pre-patch canvas
+	// hashes.
+	OldHashes map[string]bool
+	// UnpatchedInstances counts instances whose latest fingerprint
+	// still renders a pre-patch canvas (the paper: 6,968).
+	UnpatchedInstances int
+}
+
+// UnpatchedWindows7 reconstructs the pre-patch canvas reference set
+// from observed Windows 7 emoji-update dynamics and counts instances
+// still presenting it. latest maps browser ID to the instance's most
+// recent fingerprint; records supply the UA parse for platform
+// filtering.
+func UnpatchedWindows7(dyns []*dynamics.Dynamics, cl *dynamics.Classifier,
+	instances map[string][]*fingerprint.Record) PatchReport {
+
+	rep := PatchReport{OldHashes: map[string]bool{}}
+	for _, d := range dyns {
+		fd := d.Delta.Field(fingerprint.FeatCanvas)
+		if fd == nil {
+			continue
+		}
+		if !isWindows7(d.To) {
+			continue
+		}
+		c := cl.Classify(d)
+		if !c.Has(dynamics.CauseCanvasEmoji) {
+			continue
+		}
+		rep.UpdateObserved++
+		rep.OldHashes[fd.OldHash] = true
+	}
+	if len(rep.OldHashes) == 0 {
+		return rep
+	}
+	for _, recs := range instances {
+		if len(recs) == 0 {
+			continue
+		}
+		last := recs[len(recs)-1]
+		if isWindows7(last) && rep.OldHashes[last.FP.CanvasHash] {
+			rep.UnpatchedInstances++
+		}
+	}
+	return rep
+}
+
+func isWindows7(r *fingerprint.Record) bool {
+	if r.OS != useragent.Windows {
+		return false
+	}
+	ua, err := useragent.Parse(r.FP.UserAgent)
+	return err == nil && ua.OS == useragent.Windows && ua.OSVersion.Major == 7
+}

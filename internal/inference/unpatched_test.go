@@ -1,0 +1,48 @@
+package inference
+
+import (
+	"testing"
+
+	"fpdyn/internal/browserid"
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/population"
+)
+
+func TestUnpatchedWindows7OnWorld(t *testing.T) {
+	// A large world with many Windows 7 stragglers; the win7 emoji
+	// update fires at 0.2% of old-emoji devices, so finding even one
+	// observed transition needs scale.
+	var ds *population.Dataset
+	var gt *browserid.GroundTruth
+	var rep PatchReport
+	for _, seed := range []int64{101, 102, 103} {
+		cfg := population.DefaultConfig(4000)
+		cfg.Seed = seed
+		ds = population.Simulate(cfg)
+		gt = browserid.Build(ds.Records)
+		cl := &dynamics.Classifier{Images: dynamics.MapImages(ds.CanvasImages)}
+		dyns := dynamics.Changed(dynamics.Generate(gt))
+		rep = UnpatchedWindows7(dyns, cl, gt.Instances)
+		if rep.UpdateObserved > 0 {
+			break
+		}
+	}
+	if rep.UpdateObserved == 0 {
+		t.Skip("no Windows 7 emoji update observed across seeds (rare event)")
+	}
+	t.Logf("updates observed: %d; old hashes: %d; unpatched instances: %d",
+		rep.UpdateObserved, len(rep.OldHashes), rep.UnpatchedInstances)
+	// The paper's asymmetry: far more unpatched instances than observed
+	// updates (9 updates vs 6,968 unpatched).
+	if rep.UnpatchedInstances <= rep.UpdateObserved {
+		t.Errorf("unpatched (%d) should far exceed observed updates (%d)",
+			rep.UnpatchedInstances, rep.UpdateObserved)
+	}
+}
+
+func TestUnpatchedWindows7Empty(t *testing.T) {
+	rep := UnpatchedWindows7(nil, &dynamics.Classifier{}, nil)
+	if rep.UpdateObserved != 0 || rep.UnpatchedInstances != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}

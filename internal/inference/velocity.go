@@ -1,0 +1,81 @@
+package inference
+
+import (
+	"sort"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/geoip"
+)
+
+// VelocityReport is the Insight 1.4 analysis: movement speeds implied
+// by consecutive visits' IP geolocations.
+type VelocityReport struct {
+	// Pairs is the number of consecutive-visit pairs examined.
+	Pairs int
+	// Slow counts pairs under 150 km/h (ordinary movement).
+	Slow int
+	// Mid counts pairs between 150 and the VPN threshold — the paper
+	// observes this band is empty because proxies sit far away.
+	Mid int
+	// Impossible counts pairs above the 2,000 km/h threshold.
+	Impossible int
+	// VPNInstances lists browser IDs with at least one impossible hop,
+	// sorted (the paper: 2,916 instances).
+	VPNInstances []string
+	// Cases holds one example hop per VPN instance for manual review.
+	Cases []VelocityCase
+}
+
+// VelocityCase is one impossible-travel example (the paper's
+// Kaluga→Lagos case study format).
+type VelocityCase struct {
+	BrowserID string
+	FromCity  string
+	ToCity    string
+	Gap       time.Duration
+	SpeedKmh  float64
+}
+
+// Velocity computes implied movement speeds for every instance's
+// consecutive visit pairs. Cities are resolved through the geolocation
+// database by name.
+func Velocity(instances map[string][]*fingerprint.Record, geo *geoip.DB) VelocityReport {
+	var rep VelocityReport
+	vpn := map[string]VelocityCase{}
+	for id, recs := range instances {
+		for i := 1; i < len(recs); i++ {
+			a, okA := geo.ByName(recs[i-1].FP.IPCity)
+			b, okB := geo.ByName(recs[i].FP.IPCity)
+			if !okA || !okB || a.Name == b.Name {
+				continue
+			}
+			gap := recs[i].Time.Sub(recs[i-1].Time)
+			v := geoip.Velocity(a, b, gap)
+			rep.Pairs++
+			switch {
+			case v < 150:
+				rep.Slow++
+			case v <= geoip.VPNThresholdKmh:
+				rep.Mid++
+			default:
+				rep.Impossible++
+				if _, seen := vpn[id]; !seen {
+					vpn[id] = VelocityCase{
+						BrowserID: id, FromCity: a.Name, ToCity: b.Name,
+						Gap: gap, SpeedKmh: v,
+					}
+				}
+			}
+		}
+	}
+	rep.VPNInstances = make([]string, 0, len(vpn))
+	for id := range vpn {
+		rep.VPNInstances = append(rep.VPNInstances, id)
+	}
+	sort.Strings(rep.VPNInstances)
+	for _, id := range rep.VPNInstances {
+		rep.Cases = append(rep.Cases, vpn[id])
+	}
+	return rep
+}

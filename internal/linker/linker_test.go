@@ -1,0 +1,216 @@
+package linker
+
+import (
+	"testing"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/fpstalker"
+	"fpdyn/internal/population"
+	"fpdyn/internal/useragent"
+)
+
+var tBase = time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+
+func chromeRec(v useragent.Version, t time.Time) *fingerprint.Record {
+	ua := useragent.UA{Browser: useragent.Chrome, BrowserVersion: v, OS: useragent.Windows, OSVersion: useragent.V(10)}
+	return &fingerprint.Record{
+		Time: t,
+		FP: &fingerprint.Fingerprint{
+			UserAgent: ua.String(), Accept: "text/html", Encoding: "gzip, deflate, br",
+			Language: "en-US,en;q=0.9", HeaderList: []string{"Host"},
+			Plugins:       []string{"Chrome PDF Plugin"},
+			CookieEnabled: true, WebGL: true, LocalStorage: true, TimezoneOffset: 60,
+			Languages: []string{"en-US"}, Fonts: []string{"Arial", "Calibri"},
+			CanvasHash: "c1", GPUVendor: "NVIDIA Corporation", GPURenderer: "GeForce GTX 970",
+			GPUType: "ANGLE (Direct3D11)", CPUCores: 4, CPUClass: "x86",
+			AudioInfo: "channels:2;rate:44100", ScreenResolution: "1920x1080",
+			ColorDepth: 24, PixelRatio: "1",
+			ConsLanguage: true, ConsResolution: true, ConsOS: true, ConsBrowser: true,
+			GPUImageHash: "g1",
+		},
+		Browser: useragent.Chrome, OS: useragent.Windows,
+	}
+}
+
+func mobileRec(t time.Time) *fingerprint.Record {
+	ua := useragent.UA{Browser: useragent.ChromeMobile, BrowserVersion: useragent.V(64, 0, 3282, 137),
+		OS: useragent.Android, OSVersion: useragent.V(8, 0, 0), Device: "SM-G950F", Mobile: true}
+	r := chromeRec(useragent.V(64), t)
+	r.FP.UserAgent = ua.String()
+	r.FP.CPUCores = 8
+	r.FP.CPUClass = "ARM"
+	r.FP.GPUVendor, r.FP.GPURenderer = "ARM", "Mali-G71"
+	r.FP.GPUType = "OpenGL ES 3.0"
+	r.FP.ScreenResolution, r.FP.PixelRatio = "360x740", "4"
+	r.FP.Plugins = nil
+	r.Browser, r.OS, r.Mobile = useragent.ChromeMobile, useragent.Android, true
+	return r
+}
+
+func TestHybridExactMatch(t *testing.T) {
+	h := New()
+	h.Add("a", chromeRec(useragent.V(63, 0, 3239, 132), tBase))
+	got := h.TopK(chromeRec(useragent.V(63, 0, 3239, 132), tBase.Add(time.Hour)), 3)
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("TopK = %v", got)
+	}
+}
+
+func TestHybridFixesDesktopRequestFN(t *testing.T) {
+	// FP-Stalker's Figure 11(a) false negative: the hybrid linker must
+	// link a desktop-requested page back to the mobile instance.
+	h := New()
+	mob := mobileRec(tBase)
+	h.Add("a", mob)
+	q := mobileRec(tBase.Add(time.Hour))
+	ua, _ := useragent.Parse(mob.FP.UserAgent)
+	q.FP.UserAgent = ua.RequestDesktop().String()
+	q.FP.ConsOS = false
+	got := h.TopK(q, 10)
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("hybrid failed to fix the desktop-request FN: %v", got)
+	}
+	// FP-Stalker fails here by design.
+	rl := fpstalker.NewRuleLinker()
+	rl.Add("a", mob)
+	if rule := rl.TopK(q, 10); len(rule) != 0 {
+		t.Fatalf("precondition: FP-Stalker should miss this case, got %v", rule)
+	}
+}
+
+func TestHybridFixesStorageToggleFN(t *testing.T) {
+	// Figure 11(b): cookies+localStorage disabled must still link.
+	h := New()
+	h.Add("a", chromeRec(useragent.V(63, 0, 3239, 132), tBase))
+	q := chromeRec(useragent.V(63, 0, 3239, 132), tBase.Add(time.Hour))
+	q.FP.CookieEnabled, q.FP.LocalStorage = false, false
+	got := h.TopK(q, 10)
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("hybrid failed to fix the storage-toggle FN: %v", got)
+	}
+}
+
+func TestHybridFixesCPUCoresFP(t *testing.T) {
+	// Figure 11(c): different CPU cores must NOT link.
+	h := New()
+	h.Add("a", chromeRec(useragent.V(63, 0, 3239, 132), tBase))
+	q := chromeRec(useragent.V(63, 0, 3239, 132), tBase.Add(time.Hour))
+	q.FP.CPUCores = 2
+	if got := h.TopK(q, 10); len(got) != 0 {
+		t.Fatalf("hybrid reproduced the CPU-cores FP: %v", got)
+	}
+}
+
+func TestHybridFixesDeviceModelFP(t *testing.T) {
+	// Figure 11(d): different device models must NOT link.
+	h := New()
+	a := mobileRec(tBase)
+	h.Add("a", a)
+	q := mobileRec(tBase.Add(time.Hour))
+	ua, _ := useragent.Parse(q.FP.UserAgent)
+	ua.Device = "SM-J330F"
+	q.FP.UserAgent = ua.String()
+	if got := h.TopK(q, 10); len(got) != 0 {
+		t.Fatalf("hybrid reproduced the device-model FP: %v", got)
+	}
+}
+
+func TestHybridRejectsDowngrade(t *testing.T) {
+	h := New()
+	h.Add("a", chromeRec(useragent.V(64, 0, 3282, 140), tBase))
+	if got := h.TopK(chromeRec(useragent.V(63, 0, 3239, 132), tBase.Add(time.Hour)), 10); len(got) != 0 {
+		t.Fatalf("downgrade linked: %v", got)
+	}
+}
+
+func TestHybridReleaseTimingBoost(t *testing.T) {
+	// Two identical candidates, one updated toward a real release at
+	// query time: the updated transition must rank first thanks to the
+	// Advice-8 boost. Construct: candidate "old" at v63, query at v64
+	// just after the Chrome 64 release → the v63 entry gets the boost
+	// over a v64 entry with extra unexplained noise.
+	h := New()
+	old := chromeRec(useragent.V(63, 0, 3239, 84), tBase)
+	h.Add("updating", old)
+	noisy := chromeRec(useragent.V(64, 0, 3282, 140), tBase)
+	noisy.FP.AudioInfo = "channels:2;rate:48000" // unexplained-ish drift
+	noisy.FP.Languages = []string{"en-US", "xx-XX"}
+	h.Add("noisy", noisy)
+
+	q := chromeRec(useragent.V(64, 0, 3282, 140), time.Date(2018, 2, 5, 0, 0, 0, 0, time.UTC))
+	q.FP.CanvasHash = "c-new" // updates change canvas
+	got := h.TopK(q, 2)
+	if len(got) == 0 || got[0].ID != "updating" {
+		t.Fatalf("release-aware ranking = %v, want 'updating' first", got)
+	}
+}
+
+func TestHybridBucketsExcludeOtherHardware(t *testing.T) {
+	h := New()
+	a := chromeRec(useragent.V(63), tBase)
+	h.Add("a", a)
+	other := chromeRec(useragent.V(63), tBase)
+	other.FP.GPURenderer = "GeForce GTX 1060"
+	other.FP.GPUImageHash = "g2"
+	h.Add("b", other)
+	q := chromeRec(useragent.V(63), tBase.Add(time.Hour))
+	q.FP.TimezoneOffset = 0 // break the exact match
+	got := h.TopK(q, 10)
+	for _, c := range got {
+		if c.ID == "b" {
+			t.Fatalf("candidate from a different GPU bucket: %v", got)
+		}
+	}
+}
+
+func TestHybridAddReplaces(t *testing.T) {
+	h := New()
+	h.Add("a", chromeRec(useragent.V(63, 0, 3239, 132), tBase))
+	h.Add("a", chromeRec(useragent.V(64, 0, 3282, 140), tBase.Add(time.Hour)))
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+// TestHybridBeatsFPStalker is the headline extension test: on the same
+// replay, the hybrid linker must achieve a higher F1 than rule-based
+// FP-Stalker and answer queries faster (bucketed candidate scan vs
+// linear scan).
+func TestHybridBeatsFPStalker(t *testing.T) {
+	cfg := population.DefaultConfig(1200)
+	cfg.Seed = 33
+	ds := population.Simulate(cfg)
+
+	rule := fpstalker.Evaluate(fpstalker.NewRuleLinker(), ds.Records, ds.TrueInstance, 10)
+	hyb := fpstalker.Evaluate(New(), ds.Records, ds.TrueInstance, 10)
+
+	t.Logf("rule-based: F1=%.3f P=%.3f R=%.3f mean=%v",
+		rule.F1(), rule.Precision(), rule.Recall(), rule.MeanMatchTime)
+	t.Logf("hybrid:     F1=%.3f P=%.3f R=%.3f mean=%v",
+		hyb.F1(), hyb.Precision(), hyb.Recall(), hyb.MeanMatchTime)
+
+	if hyb.F1() <= rule.F1() {
+		t.Errorf("hybrid F1 %.3f did not beat rule-based %.3f", hyb.F1(), rule.F1())
+	}
+	if hyb.MeanMatchTime >= rule.MeanMatchTime {
+		t.Errorf("hybrid mean match %v not faster than rule-based %v",
+			hyb.MeanMatchTime, rule.MeanMatchTime)
+	}
+}
+
+func BenchmarkHybridMatch(b *testing.B) {
+	cfg := population.DefaultConfig(2000)
+	ds := population.Simulate(cfg)
+	h := New()
+	for i, rec := range ds.Records {
+		h.Add(fpstalker.InstanceID(ds.TrueInstance[i]), rec)
+	}
+	q := chromeRec(useragent.V(65, 0, 3325, 146), tBase)
+	q.FP.CanvasHash = "unseen"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.TopK(q, 10)
+	}
+}

@@ -1,0 +1,110 @@
+package linker
+
+import (
+	"testing"
+
+	"fpdyn/internal/fpstalker"
+	"fpdyn/internal/population"
+	"fpdyn/internal/useragent"
+)
+
+// Property: the hybrid never links across GPU vendors or renderers —
+// the stable-feature bucket makes cross-hardware candidates impossible
+// by construction.
+func TestHybridNeverCrossesHardware(t *testing.T) {
+	cfg := population.DefaultConfig(600)
+	cfg.Seed = 55
+	ds := population.Simulate(cfg)
+	h := New()
+	// Index every record under its instance; remember hardware per ID.
+	hw := map[string][2]string{}
+	for i, rec := range ds.Records {
+		id := fpstalker.InstanceID(ds.TrueInstance[i])
+		h.Add(id, rec)
+		hw[id] = [2]string{rec.FP.GPUVendor, rec.FP.GPURenderer}
+	}
+	// Every candidate returned for every record must share its hardware.
+	for i, rec := range ds.Records {
+		if i%7 != 0 {
+			continue // sample for speed
+		}
+		for _, c := range h.TopK(rec, 10) {
+			got := hw[c.ID]
+			if got[0] != rec.FP.GPUVendor || got[1] != rec.FP.GPURenderer {
+				t.Fatalf("record %d (%s/%s) matched candidate %s with %s/%s",
+					i, rec.FP.GPUVendor, rec.FP.GPURenderer, c.ID, got[0], got[1])
+			}
+		}
+	}
+}
+
+// Property: TopK is deterministic — repeated queries return identical
+// candidate lists.
+func TestHybridTopKDeterministic(t *testing.T) {
+	cfg := population.DefaultConfig(300)
+	cfg.Seed = 56
+	ds := population.Simulate(cfg)
+	h := New()
+	for i, rec := range ds.Records {
+		h.Add(fpstalker.InstanceID(ds.TrueInstance[i]), rec)
+	}
+	for i := 0; i < len(ds.Records); i += 13 {
+		a := h.TopK(ds.Records[i], 10)
+		b := h.TopK(ds.Records[i], 10)
+		if len(a) != len(b) {
+			t.Fatalf("record %d: lengths differ", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("record %d: candidate %d differs: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// Property: the candidate ordering respects scores (descending).
+func TestHybridCandidatesSorted(t *testing.T) {
+	cfg := population.DefaultConfig(300)
+	cfg.Seed = 57
+	ds := population.Simulate(cfg)
+	h := New()
+	for i, rec := range ds.Records {
+		h.Add(fpstalker.InstanceID(ds.TrueInstance[i]), rec)
+	}
+	for i := 0; i < len(ds.Records); i += 11 {
+		cands := h.TopK(ds.Records[i], 10)
+		for j := 1; j < len(cands); j++ {
+			if cands[j].Score > cands[j-1].Score {
+				t.Fatalf("record %d: candidates unsorted: %v", i, cands)
+			}
+		}
+	}
+}
+
+// The release boost must never apply to versions released after the
+// query time.
+func TestReleaseSupportedTimeWindow(t *testing.T) {
+	h := New()
+	ua := useragent.UA{Browser: useragent.Chrome, BrowserVersion: useragent.V(66, 0, 3359, 117)}
+	release := mustFind(t, useragent.Chrome, 66)
+	if h.releaseSupported(ua, release.Date.Add(-24*60*60*1e9)) {
+		t.Fatal("boost applied before the release date")
+	}
+	if !h.releaseSupported(ua, release.Date.Add(24*60*60*1e9)) {
+		t.Fatal("boost missing right after the release")
+	}
+	if h.releaseSupported(ua, release.Date.Add(200*24*60*60*1e9)) {
+		t.Fatal("boost applied long after the adoption window")
+	}
+}
+
+func mustFind(t *testing.T, family string, major int) population.Release {
+	t.Helper()
+	for _, rel := range population.BrowserReleases {
+		if rel.Family == family && rel.V.Major == major {
+			return rel
+		}
+	}
+	t.Fatalf("release %s %d not in calendar", family, major)
+	return population.Release{}
+}

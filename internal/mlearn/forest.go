@@ -1,0 +1,251 @@
+// Package mlearn is a from-scratch random-forest implementation (bagged
+// CART trees, Gini impurity, per-split feature subsampling) — the
+// learning machinery behind the learning-based FP-Stalker baseline. The
+// original used scikit-learn; this reimplementation keeps the same
+// algorithm family so the reproduction exhibits both its accuracy
+// behaviour and its scalability wall (Figure 10's observation that the
+// learning variant cannot keep up at dataset scale).
+//
+// Only binary classification with probability output is provided; that
+// is all FP-Stalker's "same browser instance?" model needs.
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ForestConfig controls training. Zero values select sensible defaults
+// (see Defaults).
+type ForestConfig struct {
+	NumTrees    int     // default 30
+	MaxDepth    int     // default 12
+	MinLeaf     int     // minimum samples per leaf, default 2
+	FeatureFrac float64 // fraction of features tried per split, default sqrt(d)/d
+	Seed        int64
+}
+
+// Defaults fills unset fields.
+func (c ForestConfig) Defaults(numFeatures int) ForestConfig {
+	if c.NumTrees == 0 {
+		c.NumTrees = 30
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	if c.FeatureFrac == 0 {
+		c.FeatureFrac = math.Sqrt(float64(numFeatures)) / float64(numFeatures)
+	}
+	return c
+}
+
+// node is one tree node in the flattened representation.
+type node struct {
+	feature   int32   // split feature; -1 for leaves
+	threshold float64 // go left if x[feature] <= threshold
+	left      int32
+	right     int32
+	prob      float64 // leaf probability of class 1
+}
+
+type tree struct {
+	nodes []node
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	trees       []tree
+	numFeatures int
+	importance  []float64 // accumulated Gini gain per feature
+}
+
+// TrainForest fits a forest on X (rows = samples) and binary labels y.
+func TrainForest(X [][]float64, y []int, cfg ForestConfig) (*Forest, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("mlearn: bad training set: %d rows, %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("mlearn: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			return nil, fmt.Errorf("mlearn: label %d at row %d; want 0/1", label, i)
+		}
+	}
+	cfg = cfg.Defaults(d)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	f := &Forest{numFeatures: d, importance: make([]float64, d)}
+	nFeat := int(math.Max(1, math.Round(cfg.FeatureFrac*float64(d))))
+
+	for t := 0; t < cfg.NumTrees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = rng.Intn(len(X))
+		}
+		tr := tree{}
+		b := &treeBuilder{
+			X: X, y: y, cfg: cfg, rng: rng, nFeat: nFeat, imp: f.importance,
+		}
+		b.build(&tr, idx, 0)
+		f.trees = append(f.trees, tr)
+	}
+	return f, nil
+}
+
+type treeBuilder struct {
+	X     [][]float64
+	y     []int
+	cfg   ForestConfig
+	rng   *rand.Rand
+	nFeat int
+	imp   []float64
+}
+
+// build grows a subtree over the sample indexes and returns its node
+// index in tr.nodes.
+func (b *treeBuilder) build(tr *tree, idx []int, depth int) int32 {
+	pos := 0
+	for _, i := range idx {
+		pos += b.y[i]
+	}
+	prob := float64(pos) / float64(len(idx))
+	me := int32(len(tr.nodes))
+	tr.nodes = append(tr.nodes, node{feature: -1, prob: prob})
+
+	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf || pos == 0 || pos == len(idx) {
+		return me
+	}
+	feat, thr, gain, ok := b.bestSplit(idx)
+	if !ok {
+		return me
+	}
+	b.imp[feat] += gain * float64(len(idx))
+	var left, right []int
+	for _, i := range idx {
+		if b.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return me
+	}
+	l := b.build(tr, left, depth+1)
+	r := b.build(tr, right, depth+1)
+	tr.nodes[me] = node{feature: int32(feat), threshold: thr, left: l, right: r, prob: prob}
+	return me
+}
+
+// bestSplit finds the Gini-optimal (feature, threshold) among a random
+// feature subset, returning the impurity gain for importance tracking.
+func (b *treeBuilder) bestSplit(idx []int) (feature int, threshold float64, gain float64, ok bool) {
+	d := len(b.X[0])
+	feats := b.rng.Perm(d)[:b.nFeat]
+
+	bestGain := 0.0
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, len(idx))
+	// Parent impurity.
+	pos := 0
+	for _, i := range idx {
+		pos += b.y[i]
+	}
+	n := float64(len(idx))
+	p := float64(pos) / n
+	parentGini := 2 * p * (1 - p)
+
+	for _, f := range feats {
+		for k, i := range idx {
+			vals[k] = fv{b.X[i][f], b.y[i]}
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+		leftPos, leftN := 0, 0
+		for k := 0; k < len(vals)-1; k++ {
+			leftPos += vals[k].y
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue // cannot split between equal values
+			}
+			rightPos := pos - leftPos
+			rightN := len(vals) - leftN
+			pl := float64(leftPos) / float64(leftN)
+			pr := float64(rightPos) / float64(rightN)
+			gini := (float64(leftN)*2*pl*(1-pl) + float64(rightN)*2*pr*(1-pr)) / n
+			if g := parentGini - gini; g > bestGain {
+				bestGain = g
+				feature = f
+				threshold = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, bestGain, ok
+}
+
+// Importances returns the per-feature Gini importance, normalized to
+// sum to 1 (all zeros when the forest never split).
+func (f *Forest) Importances() []float64 {
+	out := make([]float64, len(f.importance))
+	total := 0.0
+	for _, v := range f.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range f.importance {
+		out[i] = v / total
+	}
+	return out
+}
+
+// PredictProba returns the forest-averaged probability of class 1.
+func (f *Forest) PredictProba(x []float64) float64 {
+	if len(x) != f.numFeatures {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, tr := range f.trees {
+		sum += tr.predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Predict returns the hard class under a 0.5 threshold.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+func (t *tree) predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		nd := t.nodes[i]
+		if nd.feature < 0 {
+			return nd.prob
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}

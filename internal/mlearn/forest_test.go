@@ -1,0 +1,250 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// linearlySeparable builds a 2-feature dataset split by x0 + x1 > 1.
+func linearlySeparable(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		if a+b > 1 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+// xorData builds the classic XOR pattern a linear model cannot learn
+// but trees can.
+func xorData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func accuracy(f *Forest, X [][]float64, y []int) float64 {
+	hit := 0
+	for i, x := range X {
+		if f.Predict(x) == y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(X))
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := TrainForest(nil, nil, ForestConfig{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := TrainForest([][]float64{{1}}, []int{2}, ForestConfig{}); err == nil {
+		t.Fatal("non-binary label accepted")
+	}
+	if _, err := TrainForest([][]float64{{1, 2}, {1}}, []int{0, 1}, ForestConfig{}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := TrainForest([][]float64{{1}}, []int{0, 1}, ForestConfig{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLearnsLinearlySeparable(t *testing.T) {
+	X, y := linearlySeparable(600, 1)
+	f, err := TrainForest(X, y, ForestConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := linearlySeparable(300, 2)
+	if acc := accuracy(f, Xt, yt); acc < 0.9 {
+		t.Fatalf("test accuracy %.2f < 0.9", acc)
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	X, y := xorData(800, 3)
+	f, err := TrainForest(X, y, ForestConfig{Seed: 3, NumTrees: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := xorData(300, 4)
+	if acc := accuracy(f, Xt, yt); acc < 0.85 {
+		t.Fatalf("XOR accuracy %.2f < 0.85", acc)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	X, y := linearlySeparable(200, 5)
+	f1, _ := TrainForest(X, y, ForestConfig{Seed: 7})
+	f2, _ := TrainForest(X, y, ForestConfig{Seed: 7})
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i) / 50, float64(50-i) / 50}
+		if f1.PredictProba(x) != f2.PredictProba(x) {
+			t.Fatal("same seed gave different forests")
+		}
+	}
+	f3, _ := TrainForest(X, y, ForestConfig{Seed: 8})
+	diff := false
+	for i := 0; i < 50 && !diff; i++ {
+		x := []float64{float64(i) / 50, 0.3}
+		if f1.PredictProba(x) != f3.PredictProba(x) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical forests (suspicious)")
+	}
+}
+
+func TestPureClassShortcut(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	f, err := TrainForest(X, y, ForestConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.PredictProba([]float64{2}); p != 1 {
+		t.Fatalf("pure-positive forest predicts %v", p)
+	}
+}
+
+func TestPredictDimensionMismatch(t *testing.T) {
+	X, y := linearlySeparable(100, 9)
+	f, _ := TrainForest(X, y, ForestConfig{Seed: 1})
+	if !math.IsNaN(f.PredictProba([]float64{1})) {
+		t.Fatal("dimension mismatch not flagged")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := ForestConfig{}.Defaults(16)
+	if c.NumTrees != 30 || c.MaxDepth != 12 || c.MinLeaf != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.FeatureFrac != 0.25 { // sqrt(16)/16
+		t.Fatalf("feature frac = %v", c.FeatureFrac)
+	}
+	// Explicit values survive.
+	c2 := ForestConfig{NumTrees: 5, MaxDepth: 3, MinLeaf: 10, FeatureFrac: 1}.Defaults(4)
+	if c2.NumTrees != 5 || c2.MaxDepth != 3 || c2.MinLeaf != 10 || c2.FeatureFrac != 1 {
+		t.Fatalf("explicit config clobbered: %+v", c2)
+	}
+}
+
+func TestNumTrees(t *testing.T) {
+	X, y := linearlySeparable(100, 11)
+	f, _ := TrainForest(X, y, ForestConfig{Seed: 1, NumTrees: 7})
+	if f.NumTrees() != 7 {
+		t.Fatalf("NumTrees = %d", f.NumTrees())
+	}
+}
+
+// Property: probabilities are always within [0, 1].
+func TestProbaRangeProperty(t *testing.T) {
+	X, y := xorData(300, 13)
+	f, _ := TrainForest(X, y, ForestConfig{Seed: 13})
+	fn := func(a, b uint8) bool {
+		p := f.PredictProba([]float64{float64(a) / 255, float64(b) / 255})
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a forest trained on constant features predicts the base
+// rate everywhere.
+func TestConstantFeatureProperty(t *testing.T) {
+	X := make([][]float64, 100)
+	y := make([]int, 100)
+	for i := range X {
+		X[i] = []float64{1.0}
+		if i%4 == 0 {
+			y[i] = 1
+		}
+	}
+	f, err := TrainForest(X, y, ForestConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.PredictProba([]float64{1.0})
+	if p < 0.1 || p > 0.45 {
+		t.Fatalf("base-rate prediction %v far from 0.25", p)
+	}
+}
+
+func BenchmarkTrain1K(b *testing.B) {
+	X, y := xorData(1000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainForest(X, y, ForestConfig{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	X, y := xorData(1000, 1)
+	f, _ := TrainForest(X, y, ForestConfig{Seed: 1})
+	x := []float64{0.3, 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(x)
+	}
+}
+
+func TestImportancesIdentifyInformativeFeature(t *testing.T) {
+	// Feature 0 carries all the signal; feature 1 is noise.
+	rng := rand.New(rand.NewSource(21))
+	X := make([][]float64, 500)
+	y := make([]int, 500)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		if X[i][0] > 0.5 {
+			y[i] = 1
+		}
+	}
+	f, err := TrainForest(X, y, ForestConfig{Seed: 21, FeatureFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importances()
+	if len(imp) != 2 {
+		t.Fatalf("importances = %v", imp)
+	}
+	if imp[0] < 0.8 {
+		t.Errorf("informative feature importance = %.2f, want > 0.8 (noise: %.2f)", imp[0], imp[1])
+	}
+	sum := imp[0] + imp[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestImportancesDegenerate(t *testing.T) {
+	// A pure-class forest never splits: all-zero importances.
+	f, err := TrainForest([][]float64{{1}, {2}}, []int{1, 1}, ForestConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.Importances() {
+		if v != 0 {
+			t.Fatalf("importances = %v, want zeros", f.Importances())
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package population
+
+import (
+	"testing"
+)
+
+// Cross-instance canvas consistency: two browser instances with the
+// same environment (platform, browser family, generations) must render
+// identical canvases — that sharing is what creates anonymous sets on
+// mobile and what lets the Insight 1.1 emoji leak be recognized across
+// devices.
+func TestSameEnvironmentSameCanvas(t *testing.T) {
+	cfg := DefaultConfig(1500)
+	cfg.Seed = 58
+	ds := Simulate(cfg)
+
+	// Group first-visit records by (browser, OS, osVersion, UA) — the
+	// rendering environment proxy — and check canvas hashes agree.
+	type envKey struct{ browser, os, ua string }
+	seen := map[envKey]string{}
+	checked, mismatched := 0, 0
+	for i, r := range ds.Records {
+		if ds.VisitIndex[i] != 0 {
+			continue
+		}
+		k := envKey{r.Browser, r.OS, r.FP.UserAgent}
+		if prev, ok := seen[k]; ok {
+			checked++
+			if prev != r.FP.CanvasHash {
+				// Same UA but different canvas is legitimate when device
+				// state diverged (emoji pack generation, WPS install, the
+				// Windows 7 patch split) — but it must be the minority.
+				mismatched++
+			}
+		} else {
+			seen[k] = r.FP.CanvasHash
+		}
+	}
+	if checked == 0 {
+		t.Skip("no same-environment pairs at this scale")
+	}
+	rate := float64(mismatched) / float64(checked)
+	t.Logf("same-UA pairs: %d, canvas mismatch rate: %.2f", checked, rate)
+	if rate > 0.5 {
+		t.Errorf("same-environment canvases diverge too often (%.2f): sharing broken", rate)
+	}
+}
+
+// Canvas determinism at the instance level: an instance whose
+// generations did not change must keep its canvas hash across visits.
+func TestCanvasStableWithoutEvents(t *testing.T) {
+	cfg := DefaultConfig(800)
+	cfg.Seed = 59
+	ds := Simulate(cfg)
+	last := map[int]int{}
+	for i := range ds.Records {
+		inst := ds.TrueInstance[i]
+		if j, ok := last[inst]; ok && len(ds.Truth[i]) == 0 {
+			// No events between visits j and i: the canvas must match.
+			if ds.Records[j].FP.CanvasHash != ds.Records[i].FP.CanvasHash {
+				t.Fatalf("instance %d canvas changed without any event between visits", inst)
+			}
+		}
+		last[inst] = i
+	}
+}
+
+// GPU images follow the same rule: stable absent driver/update events.
+func TestGPUImageStableWithoutEvents(t *testing.T) {
+	cfg := DefaultConfig(800)
+	cfg.Seed = 60
+	ds := Simulate(cfg)
+	last := map[int]int{}
+	for i := range ds.Records {
+		inst := ds.TrueInstance[i]
+		if j, ok := last[inst]; ok && len(ds.Truth[i]) == 0 {
+			if ds.Records[j].FP.GPUImageHash != ds.Records[i].FP.GPUImageHash {
+				t.Fatalf("instance %d GPU image changed without any event", inst)
+			}
+		}
+		last[inst] = i
+	}
+}

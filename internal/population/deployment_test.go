@@ -1,0 +1,117 @@
+package population
+
+import (
+	"testing"
+	"time"
+)
+
+// Tests for the §2.2.2 deployment-artifact simulation: hot patches and
+// the partial server outage.
+
+func deploymentWorld(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DefaultConfig(800)
+	cfg.Seed = 9
+	cfg.SimulateDeployment = true
+	return Simulate(cfg)
+}
+
+func TestHotPatchHeaderList(t *testing.T) {
+	ds := deploymentWorld(t)
+	patch := ds.Cfg.Start.Add(HotPatchHeaderListDay * 24 * time.Hour)
+	sawBefore, sawAfter := false, false
+	for _, r := range ds.Records {
+		if r.Time.Before(patch) {
+			sawBefore = true
+			if len(r.FP.HeaderList) != 0 {
+				t.Fatalf("header list collected before the day-%d hot patch", HotPatchHeaderListDay)
+			}
+		} else {
+			if len(r.FP.HeaderList) != 0 {
+				sawAfter = true
+			}
+		}
+	}
+	if !sawBefore || !sawAfter {
+		t.Skipf("window not sampled on both sides (before=%v after=%v)", sawBefore, sawAfter)
+	}
+}
+
+func TestHotPatchAccept(t *testing.T) {
+	ds := deploymentWorld(t)
+	patch := ds.Cfg.Start.Add(HotPatchAcceptDay * 24 * time.Hour)
+	for _, r := range ds.Records {
+		if r.Time.Before(patch) {
+			if r.FP.Accept != "*/*" {
+				t.Fatalf("pre-patch Accept = %q, want the buggy */*", r.FP.Accept)
+			}
+		} else if r.FP.Accept == "*/*" {
+			t.Fatal("post-patch record still carries the buggy Accept")
+		}
+	}
+}
+
+func TestOutageThinsTraffic(t *testing.T) {
+	cfg := DefaultConfig(2000)
+	cfg.Seed = 9
+	clean := Simulate(cfg)
+	cfg.SimulateDeployment = true
+	outage := Simulate(cfg)
+
+	count := func(ds *Dataset, fromDay, toDay int) int {
+		lo := ds.Cfg.Start.Add(time.Duration(fromDay) * 24 * time.Hour)
+		hi := ds.Cfg.Start.Add(time.Duration(toDay) * 24 * time.Hour)
+		n := 0
+		for _, r := range ds.Records {
+			if !r.Time.Before(lo) && r.Time.Before(hi) {
+				n++
+			}
+		}
+		return n
+	}
+	cleanWin := count(clean, OutageStartDay, OutageEndDay)
+	outageWin := count(outage, OutageStartDay, OutageEndDay)
+	if cleanWin == 0 {
+		t.Skip("no traffic in the outage window at this scale")
+	}
+	ratio := float64(outageWin) / float64(cleanWin)
+	t.Logf("outage window records: %d clean vs %d with outage (%.2f)", cleanWin, outageWin, ratio)
+	if ratio > 0.75 {
+		t.Errorf("outage removed too little traffic: ratio %.2f", ratio)
+	}
+	// Outside the outage, traffic is not thinned (same seed, but RNG
+	// consumption differs slightly; allow wide tolerance).
+	cleanOut := count(clean, OutageEndDay+10, OutageEndDay+60)
+	outageOut := count(outage, OutageEndDay+10, OutageEndDay+60)
+	if cleanOut > 100 && float64(outageOut) < 0.7*float64(cleanOut) {
+		t.Errorf("traffic outside the outage window also thinned: %d vs %d", outageOut, cleanOut)
+	}
+}
+
+func TestOutagePreservesTruthConsistency(t *testing.T) {
+	ds := deploymentWorld(t)
+	if len(ds.Records) != len(ds.Truth) || len(ds.Records) != len(ds.TrueInstance) {
+		t.Fatal("parallel arrays inconsistent under deployment simulation")
+	}
+	// First recorded visit of each instance must still carry no labels.
+	seen := map[int]bool{}
+	for i := range ds.Records {
+		inst := ds.TrueInstance[i]
+		if !seen[inst] {
+			seen[inst] = true
+			if len(ds.Truth[i]) != 0 {
+				t.Fatalf("first recorded visit of instance %d carries labels %v", inst, ds.Truth[i])
+			}
+		}
+	}
+}
+
+func TestDeploymentOffByDefault(t *testing.T) {
+	cfg := DefaultConfig(50)
+	ds := Simulate(cfg)
+	for _, r := range ds.Records {
+		if r.FP.Accept == "*/*" {
+			t.Fatal("deployment artifacts leaked into the default configuration")
+		}
+	}
+}

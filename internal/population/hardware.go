@@ -1,0 +1,268 @@
+package population
+
+import (
+	"math/rand"
+
+	"fpdyn/internal/canvas"
+	"fpdyn/internal/useragent"
+)
+
+// Hardware and platform pools the simulator samples from. Shares are
+// tuned to the breakdowns of Figures 5 and 6: Windows is the most used
+// OS, iOS next, Android on par with iOS, macOS smaller, Linux tiny; on
+// mobile the default browser (Safari or Samsung) dominates.
+
+type platformChoice struct {
+	os      string
+	mobile  bool
+	weight  int
+	browser []browserChoice
+}
+
+type browserChoice struct {
+	family string
+	weight int
+}
+
+var platformPool = []platformChoice{
+	{os: useragent.Windows, mobile: false, weight: 38, browser: []browserChoice{
+		{useragent.Chrome, 52}, {useragent.Firefox, 24}, {useragent.Edge, 12},
+		{useragent.Opera, 6}, {useragent.IE, 4}, {useragent.Maxthon, 2},
+	}},
+	{os: useragent.IOS, mobile: true, weight: 26, browser: []browserChoice{
+		{useragent.MobileSafari, 84}, {useragent.ChromeMobile, 12}, {useragent.FirefoxMobile, 4},
+	}},
+	{os: useragent.Android, mobile: true, weight: 24, browser: []browserChoice{
+		{useragent.ChromeMobile, 46}, {useragent.Samsung, 40}, {useragent.FirefoxMobile, 14},
+	}},
+	{os: useragent.MacOSX, mobile: false, weight: 10, browser: []browserChoice{
+		{useragent.Safari, 55}, {useragent.Chrome, 32}, {useragent.Firefox, 13},
+	}},
+	{os: useragent.Linux, mobile: false, weight: 2, browser: []browserChoice{
+		{useragent.Firefox, 55}, {useragent.Chrome, 45},
+	}},
+}
+
+func pickPlatform(rng *rand.Rand) platformChoice {
+	total := 0
+	for _, p := range platformPool {
+		total += p.weight
+	}
+	n := rng.Intn(total)
+	for _, p := range platformPool {
+		if n < p.weight {
+			return p
+		}
+		n -= p.weight
+	}
+	return platformPool[0]
+}
+
+func pickBrowser(rng *rand.Rand, p platformChoice) string {
+	total := 0
+	for _, b := range p.browser {
+		total += b.weight
+	}
+	n := rng.Intn(total)
+	for _, b := range p.browser {
+		if n < b.weight {
+			return b.family
+		}
+		n -= b.weight
+	}
+	return p.browser[0].family
+}
+
+// initialVersion returns the browser version an instance starts the
+// deployment window with: mostly the latest pre-window release, with a
+// tail of stale installs (the paper: many browsers are not constantly
+// updated).
+func initialVersion(rng *rand.Rand, family string) useragent.Version {
+	rels := releasesFor(BrowserReleases, family)
+	if len(rels) == 0 {
+		// Families without in-window releases sit on a fixed version;
+		// Mobile Safari's presented version is overridden to track iOS.
+		switch family {
+		case useragent.MobileSafari:
+			return useragent.V(11, 0)
+		case useragent.IE:
+			return useragent.V(11)
+		case useragent.Maxthon:
+			if rng.Intn(5) == 0 {
+				return useragent.V(4, 9, 5, 1000) // the paper's whitespace example
+			}
+			return useragent.V(5, 1, 3, 2000)
+		}
+		return useragent.V(1)
+	}
+	first := rels[0].V
+	// 65%: already on the newest pre-window release; 35%: a stale
+	// install one or two majors behind (many browsers are not constantly
+	// updated — the paper finds only 13.81% of instances update at all).
+	if rng.Intn(100) < 65 {
+		return first
+	}
+	back := 1 + rng.Intn(2)
+	stale := first
+	stale.Major -= back
+	if stale.Major < 1 {
+		stale.Major = 1
+	}
+	// Synthesize plausible older sub-version numbers.
+	if stale.Patch >= 0 {
+		stale.Patch -= 37 * back
+		if stale.Patch < 0 {
+			stale.Patch = 2000 + stale.Major
+		}
+	}
+	return stale
+}
+
+var gpuPool = []canvas.GPUInfo{
+	{Vendor: "Intel Inc.", Renderer: "Intel(R) HD Graphics 520"},
+	{Vendor: "Intel Inc.", Renderer: "Intel(R) HD Graphics 620"},
+	{Vendor: "Intel Inc.", Renderer: "Intel(R) UHD Graphics 630"},
+	{Vendor: "Intel Inc.", Renderer: "Intel(R) HD Graphics 4000"},
+	{Vendor: "AMD", Renderer: "AMD Radeon R7 200 Series"},
+	{Vendor: "AMD", Renderer: "AMD Radeon RX 580"},
+	{Vendor: "NVIDIA Corporation", Renderer: "GeForce GTX 970"},
+	{Vendor: "NVIDIA Corporation", Renderer: "GeForce GTX 1060"},
+	{Vendor: "NVIDIA Corporation", Renderer: "GeForce GTX 1080"},
+	{Vendor: "NVIDIA Corporation", Renderer: "GeForce GT 730"},
+}
+
+var desktopResolutions = []string{
+	"1920x1080", "1366x768", "1536x864", "1440x900", "1600x900",
+	"2560x1440", "1280x1024", "1680x1050", "3840x2160", "1280x800",
+}
+
+// mobileProfile ties a device model to its fixed hardware: real phones
+// of one model are identical, which is what gives mobile fingerprints
+// their larger anonymous sets (Figure 2's mobile curves).
+type mobileProfile struct {
+	model  string
+	screen string
+	dpr    float64
+	cores  int
+	gpu    canvas.GPUInfo
+	weight int
+}
+
+var iosProfiles = []mobileProfile{
+	{"iPhone", "375x667", 2, 2, canvas.GPUInfo{Vendor: "Apple Inc.", Renderer: "Apple A10 GPU"}, 45},
+	{"iPhone", "375x812", 3, 6, canvas.GPUInfo{Vendor: "Apple Inc.", Renderer: "Apple A11 GPU"}, 30},
+	{"iPad", "768x1024", 2, 4, canvas.GPUInfo{Vendor: "Apple Inc.", Renderer: "Apple A10 GPU"}, 25},
+}
+
+var androidProfiles = []mobileProfile{
+	{"SM-G920F", "360x640", 4, 8, canvas.GPUInfo{Vendor: "ARM", Renderer: "Mali-T880"}, 18},
+	{"SM-G950F", "360x740", 4, 8, canvas.GPUInfo{Vendor: "ARM", Renderer: "Mali-G71"}, 16},
+	{"SM-J330F", "360x640", 2, 4, canvas.GPUInfo{Vendor: "ARM", Renderer: "Mali-T880"}, 14},
+	{"SM-A520F", "360x640", 3, 8, canvas.GPUInfo{Vendor: "ARM", Renderer: "Mali-T880"}, 12},
+	{"Pixel 2", "412x732", 2.625, 8, canvas.GPUInfo{Vendor: "Qualcomm", Renderer: "Adreno (TM) 540"}, 12},
+	{"Nexus 5X", "412x732", 2.625, 6, canvas.GPUInfo{Vendor: "Qualcomm", Renderer: "Adreno (TM) 530"}, 10},
+	{"HUAWEI P10", "360x640", 3, 8, canvas.GPUInfo{Vendor: "ARM", Renderer: "Mali-G71"}, 10},
+	{"Moto G (5)", "360x640", 3, 8, canvas.GPUInfo{Vendor: "Imagination Technologies", Renderer: "PowerVR SGX 554"}, 8},
+}
+
+func pickProfile(rng *rand.Rand, profiles []mobileProfile) mobileProfile {
+	total := 0
+	for _, p := range profiles {
+		total += p.weight
+	}
+	n := rng.Intn(total)
+	for _, p := range profiles {
+		if n < p.weight {
+			return p
+		}
+		n -= p.weight
+	}
+	return profiles[0]
+}
+
+var languagePool = [][2]string{
+	// {Accept-Language header value, primary system language}
+	{"en-US,en;q=0.9", "en-US"},
+	{"en-GB,en;q=0.9", "en-GB"},
+	{"de-DE,de;q=0.9,en;q=0.8", "de-DE"},
+	{"fr-FR,fr;q=0.9,en;q=0.8", "fr-FR"},
+	{"es-ES,es;q=0.9,en;q=0.8", "es-ES"},
+	{"it-IT,it;q=0.9,en;q=0.8", "it-IT"},
+	{"nl-NL,nl;q=0.9,en;q=0.8", "nl-NL"},
+	{"pl-PL,pl;q=0.9,en;q=0.8", "pl-PL"},
+	{"pt-PT,pt;q=0.9,en;q=0.8", "pt-PT"},
+	{"sv-SE,sv;q=0.9,en;q=0.8", "sv-SE"},
+	{"ru-RU,ru;q=0.9,en;q=0.8", "ru-RU"},
+	{"tr-TR,tr;q=0.9,en;q=0.8", "tr-TR"},
+}
+
+// acceptFor returns the Accept header a browser family sends. The pool
+// is small (Table 1: 9 distinct values).
+func acceptFor(family string) string {
+	switch family {
+	case useragent.Firefox, useragent.FirefoxMobile:
+		return "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8"
+	case useragent.Safari, useragent.MobileSafari:
+		return "text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8"
+	case useragent.IE:
+		return "text/html, application/xhtml+xml, image/jxr, */*"
+	}
+	return "text/html,application/xhtml+xml,application/xml;q=0.9,image/webp,image/apng,*/*;q=0.8"
+}
+
+// encodingFor returns the Accept-Encoding value. Maxthon 4.9.5.1000's
+// missing whitespace is the paper's §2.3.2 example.
+func encodingFor(family string, v useragent.Version) string {
+	switch family {
+	case useragent.Maxthon:
+		if v.Compare(useragent.V(5)) < 0 {
+			return "gzip,deflate"
+		}
+		return "gzip, deflate"
+	case useragent.IE:
+		return "gzip, deflate"
+	case useragent.Safari, useragent.MobileSafari:
+		return "br, gzip, deflate"
+	}
+	return "gzip, deflate, br"
+}
+
+// headerListFor returns the ordered list of HTTP header names the
+// browser family sends.
+func headerListFor(family string, mobile bool) []string {
+	base := []string{"Host", "Connection", "User-Agent", "Accept", "Accept-Encoding", "Accept-Language", "Cookie"}
+	switch family {
+	case useragent.Firefox, useragent.FirefoxMobile:
+		base = append(base, "Upgrade-Insecure-Requests", "DNT")
+	case useragent.Chrome, useragent.ChromeMobile, useragent.Opera, useragent.Samsung:
+		base = append(base, "Upgrade-Insecure-Requests")
+	}
+	if mobile {
+		base = append(base, "X-Requested-With")
+	}
+	return base
+}
+
+// pluginsFor returns the default plugin list per family/platform.
+// Mobile browsers expose none; that asymmetry is itself fingerprintable.
+func pluginsFor(family string, mobile bool) []string {
+	if mobile {
+		return nil
+	}
+	switch family {
+	case useragent.Chrome, useragent.Opera, useragent.Maxthon:
+		return []string{"Chrome PDF Plugin", "Chrome PDF Viewer", "Native Client", "Widevine Content Decryption Module"}
+	case useragent.Firefox:
+		return []string{"OpenH264 Video Codec", "Widevine Content Decryption Module"}
+	case useragent.Safari:
+		return []string{"WebKit built-in PDF"}
+	case useragent.Edge, useragent.IE:
+		return []string{"Edge PDF Viewer"}
+	}
+	return nil
+}
+
+var optionalPlugins = []string{
+	"Shockwave Flash", "Java Applet Plug-in", "Silverlight Plug-In",
+	"QuickTime Plug-in", "VLC Web Plugin", "DivX Web Player",
+}

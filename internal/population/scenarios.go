@@ -1,0 +1,60 @@
+package population
+
+// Scenario presets: named configurations for sensitivity analysis. The
+// default world mirrors the paper's deployment; the variants move one
+// population characteristic at a time so analyses can report how each
+// result responds (the reproduction's substitute for the paper's
+// single fixed population).
+
+// Scenario names accepted by NamedConfig.
+const (
+	// ScenarioPaper is the calibrated default world.
+	ScenarioPaper = "paper"
+	// ScenarioMobileHeavy shifts the platform mix toward phones, as a
+	// consumer-content site would see.
+	ScenarioMobileHeavy = "mobile-heavy"
+	// ScenarioEnterprise models a corporate intranet: Windows-dominated,
+	// slow updates, little travel, Office everywhere.
+	ScenarioEnterprise = "enterprise"
+	// ScenarioFastUpdaters models a tech-savvy audience: updates adopted
+	// quickly, more privacy actions.
+	ScenarioFastUpdaters = "fast-updaters"
+	// ScenarioLoyal models a site with very frequent returning visitors
+	// (more visits → more observable dynamics, the Figure 7 regime).
+	ScenarioLoyal = "loyal"
+)
+
+// Scenarios lists the available preset names.
+func Scenarios() []string {
+	return []string{ScenarioPaper, ScenarioMobileHeavy, ScenarioEnterprise, ScenarioFastUpdaters, ScenarioLoyal}
+}
+
+// NamedConfig returns the preset configuration for a scenario name; ok
+// is false for unknown names.
+func NamedConfig(name string, users int) (Config, bool) {
+	cfg := DefaultConfig(users)
+	switch name {
+	case ScenarioPaper:
+		return cfg, true
+	case ScenarioMobileHeavy:
+		cfg.MultiDeviceShare = 0.25 // phone + tablet households
+		cfg.SecondBrowserShare = 0.10
+		return cfg, true
+	case ScenarioEnterprise:
+		cfg.NeverUpdateShare = 0.6 // managed, frozen images
+		cfg.MeanUpdateLagDays = 60
+		cfg.MultiDeviceShare = 0.05
+		cfg.ReturnProb = 0.8 // daily intranet use
+		cfg.MaxVisits = 120
+		return cfg, true
+	case ScenarioFastUpdaters:
+		cfg.NeverUpdateShare = 0.05
+		cfg.MeanUpdateLagDays = 4
+		return cfg, true
+	case ScenarioLoyal:
+		cfg.ReturnProb = 0.85
+		cfg.MaxVisits = 100
+		return cfg, true
+	}
+	return Config{}, false
+}

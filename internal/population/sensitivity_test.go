@@ -1,0 +1,129 @@
+package population
+
+import (
+	"testing"
+)
+
+// Sensitivity analysis: the simulator's knobs must move the measured
+// quantities in the direction the underlying mechanism implies. These
+// are the reproduction's guard rails against calibration regressions.
+
+func countEvents(ds *Dataset, pred func(EventType) bool) int {
+	n := 0
+	for _, labels := range ds.Truth {
+		for _, l := range labels {
+			if pred(l) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestScenarioPresetsExist(t *testing.T) {
+	for _, name := range Scenarios() {
+		cfg, ok := NamedConfig(name, 100)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if cfg.Users != 100 {
+			t.Fatalf("preset %q ignored the user scale", name)
+		}
+	}
+	if _, ok := NamedConfig("nonsense", 10); ok {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestFastUpdatersAdoptMore(t *testing.T) {
+	slow, _ := NamedConfig(ScenarioEnterprise, 900)
+	fast, _ := NamedConfig(ScenarioFastUpdaters, 900)
+	slow.Seed, fast.Seed = 77, 77
+	dsSlow := Simulate(slow)
+	dsFast := Simulate(fast)
+	isUpdate := func(e EventType) bool { return e == EvBrowserUpdate }
+	slowRate := float64(countEvents(dsSlow, isUpdate)) / float64(len(dsSlow.Records))
+	fastRate := float64(countEvents(dsFast, isUpdate)) / float64(len(dsFast.Records))
+	t.Logf("browser-update rate: enterprise %.4f, fast-updaters %.4f", slowRate, fastRate)
+	if fastRate <= slowRate {
+		t.Errorf("fast updaters (%.4f) should out-update the enterprise (%.4f)", fastRate, slowRate)
+	}
+}
+
+func TestLoyalWorldHasMoreVisitsPerInstance(t *testing.T) {
+	base, _ := NamedConfig(ScenarioPaper, 700)
+	loyal, _ := NamedConfig(ScenarioLoyal, 700)
+	base.Seed, loyal.Seed = 78, 78
+	dsBase := Simulate(base)
+	dsLoyal := Simulate(loyal)
+	perInstance := func(ds *Dataset) float64 {
+		return float64(len(ds.Records)) / float64(ds.NumInstances)
+	}
+	b, l := perInstance(dsBase), perInstance(dsLoyal)
+	t.Logf("visits/instance: paper %.2f, loyal %.2f", b, l)
+	if l <= b {
+		t.Errorf("loyal world (%.2f) should out-visit the default (%.2f)", l, b)
+	}
+}
+
+func TestMobileHeavyHasMoreMultiDeviceUsers(t *testing.T) {
+	base, _ := NamedConfig(ScenarioPaper, 800)
+	mob, _ := NamedConfig(ScenarioMobileHeavy, 800)
+	base.Seed, mob.Seed = 79, 79
+	multi := func(ds *Dataset) float64 {
+		users := map[string]map[int]bool{}
+		for i, r := range ds.Records {
+			if users[r.UserID] == nil {
+				users[r.UserID] = map[int]bool{}
+			}
+			users[r.UserID][ds.TrueInstance[i]] = true
+		}
+		n := 0
+		for _, set := range users {
+			if len(set) > 1 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(users))
+	}
+	b, m := multi(Simulate(base)), multi(Simulate(mob))
+	t.Logf("multi-instance users: paper %.2f, mobile-heavy %.2f", b, m)
+	if m <= b {
+		t.Errorf("mobile-heavy (%.2f) should exceed default (%.2f)", m, b)
+	}
+}
+
+func TestUpdateLagShiftsAdoptionTiming(t *testing.T) {
+	// Faster adoption ⇒ updates land closer to their release dates.
+	fast, _ := NamedConfig(ScenarioFastUpdaters, 800)
+	fast.Seed = 80
+	slow := DefaultConfig(800)
+	slow.Seed = 80
+	slow.MeanUpdateLagDays = 60
+
+	meanGap := func(ds *Dataset) float64 {
+		// Approximate: time from window start to each browser-update
+		// event's record.
+		total, n := 0.0, 0
+		for i, labels := range ds.Truth {
+			for _, l := range labels {
+				if l == EvBrowserUpdate {
+					total += ds.Records[i].Time.Sub(ds.Cfg.Start).Hours()
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return total / float64(n)
+	}
+	f, s := meanGap(Simulate(fast)), meanGap(Simulate(slow))
+	t.Logf("mean update-observation time: fast %.0fh, slow %.0fh", f, s)
+	if f == 0 || s == 0 {
+		t.Skip("no updates observed")
+	}
+	if f >= s {
+		t.Errorf("fast updaters (%.0fh) should observe updates earlier than slow (%.0fh)", f, s)
+	}
+}

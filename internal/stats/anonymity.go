@@ -1,0 +1,79 @@
+// Package stats computes the descriptive analyses of the paper's §3:
+// anonymous-set identifiability (Figure 2), per-feature distinct/unique
+// value counts for static values and dynamics (Table 1), and the
+// population breakdowns of Figures 3–7.
+package stats
+
+import (
+	"fpdyn/internal/fingerprint"
+)
+
+// AnonymityCurve is the Figure 2 series: for each anonymous-set size
+// threshold k (1-indexed), the percentage of fingerprints whose
+// anonymous set has at most k members.
+type AnonymityCurve struct {
+	MaxK int
+	// PctIdentifiable[k-1] is the share (0–100) of fingerprint
+	// observations that fall in an anonymous set of size ≤ k.
+	PctIdentifiable []float64
+}
+
+// AnonymitySets computes the identifiability curve over a record set.
+// The anonymous set of a fingerprint value is the set of *browser
+// instances* sharing it; instanceOf gives each record its instance
+// identity (browser ID). includeIP adds the IP city/region/country
+// features, matching Figure 2's caption.
+func AnonymitySets(records []*fingerprint.Record, instanceOf func(i int) string, includeIP bool, maxK int) AnonymityCurve {
+	// fingerprint value → set of instances.
+	instSets := make(map[uint64]map[string]bool)
+	for i, r := range records {
+		h := r.FP.Hash(includeIP)
+		set := instSets[h]
+		if set == nil {
+			set = make(map[string]bool)
+			instSets[h] = set
+		}
+		set[instanceOf(i)] = true
+	}
+	curve := AnonymityCurve{MaxK: maxK, PctIdentifiable: make([]float64, maxK)}
+	if len(records) == 0 {
+		return curve
+	}
+	// Count records by their fingerprint's anonymous-set size.
+	counts := make([]int, maxK+1)
+	for _, r := range records {
+		size := len(instSets[r.FP.Hash(includeIP)])
+		if size > maxK {
+			continue
+		}
+		counts[size]++
+	}
+	cum := 0
+	for k := 1; k <= maxK; k++ {
+		cum += counts[k]
+		curve.PctIdentifiable[k-1] = 100 * float64(cum) / float64(len(records))
+	}
+	return curve
+}
+
+// Filter returns the subset of indexes whose record satisfies keep,
+// along with the filtered records — a helper for Figure 2's
+// per-platform and per-browser breakdowns.
+func Filter(records []*fingerprint.Record, keep func(*fingerprint.Record) bool) []int {
+	var idx []int
+	for i, r := range records {
+		if keep(r) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Select materializes records at the given indexes.
+func Select(records []*fingerprint.Record, idx []int) []*fingerprint.Record {
+	out := make([]*fingerprint.Record, len(idx))
+	for i, j := range idx {
+		out[i] = records[j]
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"time"
+
+	"fpdyn/internal/browserid"
+	"fpdyn/internal/diff"
+	"fpdyn/internal/fingerprint"
+)
+
+// Histogram maps a small-integer bucket to a count.
+type Histogram map[int]int
+
+// Share returns the fraction (0–1) of mass at bucket k.
+func (h Histogram) Share(k int) float64 {
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(h[k]) / float64(total)
+}
+
+// UserBrowserCookie computes the two Figure 3 histograms: the number
+// of browser IDs per user ID, and the number of cookies per browser ID.
+func UserBrowserCookie(gt *browserid.GroundTruth) (browserIDsPerUser, cookiesPerBrowser Histogram) {
+	browserIDsPerUser = Histogram{}
+	for _, set := range gt.UserInstances {
+		browserIDsPerUser[len(set)]++
+	}
+	cookiesPerBrowser = Histogram{}
+	for _, n := range gt.CookieCounts() {
+		cookiesPerBrowser[n]++
+	}
+	return browserIDsPerUser, cookiesPerBrowser
+}
+
+// VisitBucket is one time bucket of Figure 4.
+type VisitBucket struct {
+	Start     time.Time
+	FirstTime int
+	Returning int
+}
+
+// VisitSeries buckets visits into fixed windows, splitting first-time
+// from returning browser instances (Figure 4). records is the raw
+// time-ordered input and ids the per-record browser IDs (gt.IDs).
+func VisitSeries(records []*fingerprint.Record, ids []string, bucket time.Duration) []VisitBucket {
+	var out []VisitBucket
+	seen := map[string]bool{}
+	var cur *VisitBucket
+	for i, r := range records {
+		if cur == nil || r.Time.Sub(cur.Start) >= bucket {
+			out = append(out, VisitBucket{Start: r.Time.Truncate(bucket)})
+			cur = &out[len(out)-1]
+		}
+		if seen[ids[i]] {
+			cur.Returning++
+		} else {
+			seen[ids[i]] = true
+			cur.FirstTime++
+		}
+	}
+	return out
+}
+
+// TypeBreakdown counts browser instances by browser family and OS
+// family (Figures 5 and 6), using each instance's first record.
+func TypeBreakdown(gt *browserid.GroundTruth) (byBrowser, byOS map[string]int) {
+	byBrowser = map[string]int{}
+	byOS = map[string]int{}
+	for _, recs := range gt.Instances {
+		if len(recs) == 0 {
+			continue
+		}
+		byBrowser[recs[0].Browser]++
+		byOS[recs[0].OS]++
+	}
+	return byBrowser, byOS
+}
+
+// StabilityCell keys the Figure 7 matrix: instances with a given visit
+// count and dynamics (changed-fingerprint) count.
+type StabilityCell struct {
+	Visits   int
+	Dynamics int
+}
+
+// StabilityBreakdown computes Figure 7: for every browser instance,
+// its visit count and how many consecutive-visit pairs changed the
+// core fingerprint. maxVisits caps both axes (larger counts clamp into
+// the tail bucket, matching the figure).
+func StabilityBreakdown(gt *browserid.GroundTruth, maxVisits int) map[StabilityCell]int {
+	out := map[StabilityCell]int{}
+	for _, recs := range gt.Instances {
+		visits := len(recs)
+		if visits > maxVisits {
+			visits = maxVisits
+		}
+		changes := 0
+		for i := 1; i < len(recs); i++ {
+			d := diff.Diff(recs[i-1].FP, recs[i].FP)
+			for _, fd := range d.Fields {
+				if !fingerprint.Describe(fd.Feature).IsIP {
+					changes++
+					break
+				}
+			}
+		}
+		if changes > maxVisits {
+			changes = maxVisits
+		}
+		out[StabilityCell{visits, changes}]++
+	}
+	return out
+}
+
+// StableShareAtVisits returns the fraction of instances with exactly v
+// visits whose fingerprint never changed — the paper: about half at
+// 3–4 visits, decreasing to about one third.
+func StableShareAtVisits(cells map[StabilityCell]int, v int) float64 {
+	total, stable := 0, 0
+	for cell, n := range cells {
+		if cell.Visits == v {
+			total += n
+			if cell.Dynamics == 0 {
+				stable += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stable) / float64(total)
+}

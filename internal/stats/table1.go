@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"strings"
+
+	"fpdyn/internal/diff"
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/hashutil"
+)
+
+// FeatureRow is one Table 1 row: distinct and unique value counts for a
+// feature (or feature group), for static values and for dynamics.
+// "Distinct" counts all values ever observed; "Unique" counts values
+// observed exactly once.
+type FeatureRow struct {
+	Name    string
+	Group   string // empty for group and overall rows
+	IsGroup bool
+
+	Distinct, Unique       int
+	DynDistinct, DynUnique int
+}
+
+// FeatureTable computes the full Table 1: one row per schema feature,
+// one aggregated row per feature group (the distinct combination of the
+// group's features), and the two overall rows (excluding and including
+// IP features).
+func FeatureTable(records []*fingerprint.Record, dyns []*dynamics.Dynamics) []FeatureRow {
+	// Static per-feature counting.
+	perFeature := make([]map[string]int, fingerprint.NumFeatures)
+	for i := range perFeature {
+		perFeature[i] = make(map[string]int)
+	}
+	groups := map[string]map[uint64]int{}
+	overallCore := map[uint64]int{}
+	overallAll := map[uint64]int{}
+
+	for _, r := range records {
+		groupKeys := map[string]uint64{}
+		for _, d := range fingerprint.Schema {
+			key := r.FP.Value(d.ID).Key()
+			perFeature[d.ID][key]++
+			groupKeys[d.Group] = hashutil.Combine(groupKeys[d.Group], hashutil.Hash64(key))
+		}
+		for g, h := range groupKeys {
+			if groups[g] == nil {
+				groups[g] = make(map[uint64]int)
+			}
+			groups[g][h]++
+		}
+		overallCore[r.FP.Hash(false)]++
+		overallAll[r.FP.Hash(true)]++
+	}
+
+	// Dynamics per-feature counting: the delta key per changed feature.
+	dynFeature := make([]map[string]int, fingerprint.NumFeatures)
+	for i := range dynFeature {
+		dynFeature[i] = make(map[string]int)
+	}
+	dynGroups := map[string]map[string]int{}
+	dynOverallCore := map[string]int{}
+	dynOverallAll := map[string]int{}
+	for _, d := range dyns {
+		if d.Delta.Empty() {
+			continue
+		}
+		groupParts := map[string][]string{}
+		var coreParts, allParts []string
+		for i := range d.Delta.Fields {
+			fd := &d.Delta.Fields[i]
+			desc := fingerprint.Describe(fd.Feature)
+			key := fd.Key()
+			dynFeature[fd.Feature][key]++
+			groupParts[desc.Group] = append(groupParts[desc.Group], key)
+			allParts = append(allParts, key)
+			if !desc.IsIP {
+				coreParts = append(coreParts, key)
+			}
+		}
+		for g, parts := range groupParts {
+			if dynGroups[g] == nil {
+				dynGroups[g] = make(map[string]int)
+			}
+			dynGroups[g][strings.Join(parts, ";")]++
+		}
+		if len(coreParts) > 0 {
+			dynOverallCore[strings.Join(coreParts, ";")]++
+		}
+		if len(allParts) > 0 {
+			dynOverallAll[strings.Join(allParts, ";")]++
+		}
+	}
+
+	distinctUnique := func(m map[string]int) (int, int) {
+		u := 0
+		for _, c := range m {
+			if c == 1 {
+				u++
+			}
+		}
+		return len(m), u
+	}
+	distinctUnique64 := func(m map[uint64]int) (int, int) {
+		u := 0
+		for _, c := range m {
+			if c == 1 {
+				u++
+			}
+		}
+		return len(m), u
+	}
+
+	var rows []FeatureRow
+	lastGroup := ""
+	for _, d := range fingerprint.Schema {
+		if d.Group != lastGroup {
+			lastGroup = d.Group
+			gr := FeatureRow{Name: d.Group, IsGroup: true}
+			gr.Distinct, gr.Unique = distinctUnique64(groups[d.Group])
+			gr.DynDistinct, gr.DynUnique = distinctUnique(dynGroups[d.Group])
+			rows = append(rows, gr)
+		}
+		r := FeatureRow{Name: d.Name, Group: d.Group}
+		r.Distinct, r.Unique = distinctUnique(perFeature[d.ID])
+		r.DynDistinct, r.DynUnique = distinctUnique(dynFeature[d.ID])
+		rows = append(rows, r)
+	}
+
+	core := FeatureRow{Name: "Overall (excluding IP)", IsGroup: true}
+	core.Distinct, core.Unique = distinctUnique64(overallCore)
+	core.DynDistinct, core.DynUnique = distinctUnique(dynOverallCore)
+	rows = append(rows, core)
+
+	all := FeatureRow{Name: "Overall", IsGroup: true}
+	all.Distinct, all.Unique = distinctUnique64(overallAll)
+	all.DynDistinct, all.DynUnique = distinctUnique(dynOverallAll)
+	rows = append(rows, all)
+	return rows
+}
+
+// DeltaCompression quantifies the §2.3 design argument for storing
+// dynamics as deltas rather than fingerprint pairs: the number of
+// distinct (from, to) fingerprint-hash pairs versus the number of
+// distinct delta keys. A ratio above 1 means the diff representation
+// collapsed identical updates across instances.
+func DeltaCompression(dyns []*dynamics.Dynamics) (pairs, deltas int, ratio float64) {
+	pairSet := map[[2]uint64]bool{}
+	deltaSet := map[string]bool{}
+	for _, d := range dyns {
+		if d.Delta.Empty() {
+			continue
+		}
+		pairSet[[2]uint64{d.From.FP.Hash(true), d.To.FP.Hash(true)}] = true
+		deltaSet[coreDeltaKey(d.Delta)] = true
+	}
+	pairs, deltas = len(pairSet), len(deltaSet)
+	if deltas > 0 {
+		ratio = float64(pairs) / float64(deltas)
+	}
+	return pairs, deltas, ratio
+}
+
+// coreDeltaKey is the delta key over non-IP fields only (IP churn would
+// otherwise dominate the pair/delta comparison).
+func coreDeltaKey(d *diff.Delta) string {
+	var parts []string
+	for i := range d.Fields {
+		if fingerprint.Describe(d.Fields[i].Feature).IsIP {
+			continue
+		}
+		parts = append(parts, d.Fields[i].Key())
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/fingerprint"
+)
+
+// The paper's conclusion poses the uniqueness/linkability trade-off as
+// future work: uniqueness (feature entropy) determines *to what
+// extent* a tool can track a browser instance, linkability (feature
+// stability) determines *for how long*. This file quantifies both per
+// feature so a fingerprinting tool can choose its feature set along
+// the frontier.
+
+// FeatureEntropy computes the Shannon entropy in bits of each feature
+// over one fingerprint per browser instance (using each instance's
+// first record avoids over-weighting loyal visitors).
+func FeatureEntropy(firstRecords []*fingerprint.Record) map[fingerprint.ID]float64 {
+	out := make(map[fingerprint.ID]float64, fingerprint.NumFeatures)
+	n := float64(len(firstRecords))
+	if n == 0 {
+		return out
+	}
+	for _, desc := range fingerprint.Schema {
+		counts := map[string]int{}
+		for _, r := range firstRecords {
+			counts[r.FP.Value(desc.ID).Key()]++
+		}
+		h := 0.0
+		for _, c := range counts {
+			p := float64(c) / n
+			h -= p * math.Log2(p)
+		}
+		out[desc.ID] = h
+	}
+	return out
+}
+
+// TradeoffRow scores one feature on both axes.
+type TradeoffRow struct {
+	Feature fingerprint.ID
+	Name    string
+	// EntropyBits is the uniqueness axis.
+	EntropyBits float64
+	// InstabilityPct is the share (0–100) of changed dynamics in which
+	// this feature moved — the inverse linkability axis.
+	InstabilityPct float64
+	// Utility is the frontier score: entropy discounted by instability.
+	// A feature you cannot re-recognize next week contributes little to
+	// long-term tracking however unique it is today.
+	Utility float64
+}
+
+// UniquenessLinkability builds the trade-off table from per-instance
+// first records and the changed dynamics. Rows are sorted by
+// descending utility.
+func UniquenessLinkability(firstRecords []*fingerprint.Record, changed []*dynamics.Dynamics) []TradeoffRow {
+	entropy := FeatureEntropy(firstRecords)
+	changeCount := make(map[fingerprint.ID]int, fingerprint.NumFeatures)
+	total := 0
+	for _, d := range changed {
+		if !d.CoreChanged() {
+			continue
+		}
+		total++
+		for _, id := range d.Delta.FeatureIDs() {
+			changeCount[id]++
+		}
+	}
+	rows := make([]TradeoffRow, 0, fingerprint.NumFeatures)
+	for _, desc := range fingerprint.Schema {
+		instab := 0.0
+		if total > 0 {
+			instab = 100 * float64(changeCount[desc.ID]) / float64(total)
+		}
+		row := TradeoffRow{
+			Feature:        desc.ID,
+			Name:           desc.Name,
+			EntropyBits:    entropy[desc.ID],
+			InstabilityPct: instab,
+		}
+		// Discount: a feature changing in share s of dynamics keeps
+		// (1-s)^k of its value over k expected changes; use k=4 as the
+		// study-window scale.
+		keep := math.Pow(1-instab/100, 4)
+		row.Utility = row.EntropyBits * keep
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Utility != rows[j].Utility {
+			return rows[i].Utility > rows[j].Utility
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// FirstRecords extracts each instance's first record from grouped
+// instances, in deterministic (ID-sorted) order.
+func FirstRecords(instances map[string][]*fingerprint.Record) []*fingerprint.Record {
+	ids := make([]string, 0, len(instances))
+	for id := range instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*fingerprint.Record, 0, len(ids))
+	for _, id := range ids {
+		if recs := instances[id]; len(recs) > 0 {
+			out = append(out, recs[0])
+		}
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package stemming_test
+
+import (
+	"fmt"
+
+	"fpdyn/internal/stemming"
+)
+
+// ExampleStemString shows version stripping: two Chrome releases stem
+// to the same value.
+func ExampleStemString() {
+	a := stemming.StemString("Chrome/63.0.3239.132 Safari/537.36")
+	b := stemming.StemString("Chrome/64.0.3282.140 Safari/537.36")
+	fmt.Println(a)
+	fmt.Println(a == b)
+	// Output:
+	// Chrome/# Safari/#
+	// true
+}

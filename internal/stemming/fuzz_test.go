@@ -1,0 +1,40 @@
+package stemming
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzStemString: stemming must be idempotent and version-free.
+func FuzzStemString(f *testing.F) {
+	f.Add("Chrome/63.0.3239.132 Safari/537.36")
+	f.Add("")
+	f.Add("1.2.3 4 5.6")
+	f.Fuzz(func(t *testing.T, s string) {
+		st := StemString(s)
+		if StemString(st) != st {
+			t.Fatalf("stemming not idempotent on %q: %q vs %q", s, st, StemString(st))
+		}
+		for _, c := range st {
+			if c >= '0' && c <= '9' {
+				t.Fatalf("digits survived stemming %q: %q", s, st)
+			}
+		}
+	})
+}
+
+// FuzzStripQValues: output never contains a semicolon and is idempotent.
+func FuzzStripQValues(f *testing.F) {
+	f.Add("de-DE,de;q=0.9,en;q=0.8")
+	f.Add("")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, s string) {
+		out := stripQValues(s)
+		if strings.ContainsRune(out, ';') {
+			t.Fatalf("q-value survived: %q", out)
+		}
+		if stripQValues(out) != out {
+			t.Fatalf("not idempotent: %q", s)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package storage is the data-storage backend of the measurement
+// platform (Figure 1 of the paper): an append-only visit-record log
+// with secondary indexes, plus the content-addressed value store that
+// backs the collection protocol's hash-dedup optimization (§2.2.1 — the
+// client sends only a hash when the server already holds the value, and
+// the server keeps full content, which is what later lets the offline
+// analysis pixel-diff canvas images).
+//
+// The store is safe for concurrent use; the collection server appends
+// from many connections while analyses read snapshots.
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"fpdyn/internal/fingerprint"
+)
+
+// Store holds the raw dataset. The zero value is not usable; construct
+// with NewStore.
+type Store struct {
+	mu       sync.RWMutex
+	records  []*fingerprint.Record
+	byUser   map[string][]int
+	byCookie map[string][]int
+	values   map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byUser:   make(map[string][]int),
+		byCookie: make(map[string][]int),
+		values:   make(map[string][]byte),
+	}
+}
+
+// Append adds a record and returns its index. Records are expected in
+// collection (time) order; the store preserves insertion order.
+func (s *Store) Append(r *fingerprint.Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.records)
+	s.records = append(s.records, r)
+	s.byUser[r.UserID] = append(s.byUser[r.UserID], idx)
+	if r.Cookie != "" {
+		s.byCookie[r.Cookie] = append(s.byCookie[r.Cookie], idx)
+	}
+	return idx
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Record returns the i-th record.
+func (s *Store) Record(i int) *fingerprint.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.records[i]
+}
+
+// Records returns a snapshot slice of all records in insertion order.
+// The slice is a copy; the records themselves are shared and must be
+// treated as immutable.
+func (s *Store) Records() []*fingerprint.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*fingerprint.Record, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// ByUser returns the records of one user in insertion order.
+func (s *Store) ByUser(userID string) []*fingerprint.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byUser[userID]
+	out := make([]*fingerprint.Record, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.records[idx]
+	}
+	return out
+}
+
+// ByCookie returns the records presenting one cookie in insertion order.
+func (s *Store) ByCookie(cookie string) []*fingerprint.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.byCookie[cookie]
+	out := make([]*fingerprint.Record, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.records[idx]
+	}
+	return out
+}
+
+// HasValue reports whether the content-addressed store holds hash.
+func (s *Store) HasValue(hash string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.values[hash]
+	return ok
+}
+
+// PutValue stores content under its hash. Re-putting an existing hash
+// is a no-op (content-addressed stores are idempotent).
+func (s *Store) PutValue(hash string, content []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.values[hash]; !ok {
+		cp := make([]byte, len(content))
+		copy(cp, content)
+		s.values[hash] = cp
+	}
+}
+
+// Value returns the content stored under hash.
+func (s *Store) Value(hash string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.values[hash]
+	return v, ok
+}
+
+// NumValues returns the number of distinct stored values.
+func (s *Store) NumValues() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.values)
+}
+
+// snapshotLine is the JSONL persistence envelope: exactly one of the
+// fields is set per line.
+type snapshotLine struct {
+	Record *fingerprint.Record `json:"rec,omitempty"`
+	Hash   string              `json:"hash,omitempty"`
+	Value  []byte              `json:"val,omitempty"`
+}
+
+// WriteTo serializes the store as JSON lines: values first, then
+// records in insertion order. It implements io.WriterTo.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	enc := json.NewEncoder(bw)
+	for hash, val := range s.values {
+		if err := enc.Encode(snapshotLine{Hash: hash, Value: val}); err != nil {
+			return n, fmt.Errorf("storage: encode value: %w", err)
+		}
+	}
+	for _, r := range s.records {
+		if err := enc.Encode(snapshotLine{Record: r}); err != nil {
+			return n, fmt.Errorf("storage: encode record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadFrom loads JSON lines produced by WriteTo into the store,
+// appending to current contents. It implements io.ReaderFrom.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var n int64
+	for {
+		var line snapshotLine
+		if err := dec.Decode(&line); err == io.EOF {
+			return n, nil
+		} else if err != nil {
+			return n, fmt.Errorf("storage: decode: %w", err)
+		}
+		switch {
+		case line.Record != nil:
+			s.Append(line.Record)
+		case line.Hash != "":
+			s.PutValue(line.Hash, line.Value)
+		}
+		n++
+	}
+}
+
+// SaveFile writes the store to path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store snapshot from path into a new store.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s := NewStore()
+	if _, err := s.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,136 @@
+// Package textplot renders the reproduction's figures as terminal
+// charts: horizontal bar charts for breakdowns (Figures 3, 5, 6),
+// line-ish series for time plots (Figures 4, 9, 10, 12), and aligned
+// tables for Tables 1–3. Keeping rendering here keeps the analysis
+// packages pure.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Bar renders a labelled horizontal bar chart. Values are scaled to
+// width characters against the maximum.
+func Bar(w io.Writer, title string, labels []string, values []float64, width int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(w, "  %-*s │%s %.1f\n", maxL, labels[i], strings.Repeat("█", n), v)
+	}
+}
+
+// BarMap renders a map as a bar chart sorted by descending value.
+func BarMap(w io.Writer, title string, m map[string]int, width int) {
+	labels := make([]string, 0, len(m))
+	for k := range m {
+		labels = append(labels, k)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if m[labels[i]] != m[labels[j]] {
+			return m[labels[i]] > m[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	values := make([]float64, len(labels))
+	for i, l := range labels {
+		values[i] = float64(m[l])
+	}
+	Bar(w, title, labels, values, width)
+}
+
+// Series renders an x/y series as a compact sparkline-style plot with
+// the min/max annotated.
+func Series(w io.Writer, title string, xs []string, ys []float64, height int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	if len(ys) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	maxV := ys[0]
+	for _, v := range ys {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for row := height; row >= 1; row-- {
+		lo := maxV * float64(row-1) / float64(height)
+		var b strings.Builder
+		for _, v := range ys {
+			if v > lo {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		label := ""
+		if row == height {
+			label = fmt.Sprintf(" %.2f", maxV)
+		}
+		if row == 1 {
+			label = " 0"
+		}
+		fmt.Fprintf(w, "  │%s%s\n", b.String(), label)
+	}
+	fmt.Fprintf(w, "  └%s\n", strings.Repeat("─", len(ys)))
+	if len(xs) > 0 {
+		fmt.Fprintf(w, "   %s … %s\n", xs[0], xs[len(xs)-1])
+	}
+}
+
+// Table renders rows with aligned columns. The first row is treated as
+// a header and underlined.
+func Table(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	render := func(row []string) {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	render(rows[0])
+	total := 0
+	for _, width := range widths {
+		total += width + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("─", total-2))
+	for _, row := range rows[1:] {
+		render(row)
+	}
+}

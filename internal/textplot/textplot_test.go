@@ -1,0 +1,88 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	var buf bytes.Buffer
+	Bar(&buf, "title", []string{"a", "bb"}, []float64{10, 5}, 20)
+	out := buf.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "bb") {
+		t.Fatalf("output: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "█") != 20 {
+		t.Errorf("max bar should fill width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "█") != 10 {
+		t.Errorf("half bar should be half width: %q", lines[2])
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	var buf bytes.Buffer
+	Bar(&buf, "", []string{"x"}, []float64{0}, 10)
+	if strings.Contains(buf.String(), "█") {
+		t.Fatal("zero value drew a bar")
+	}
+}
+
+func TestBarMapSorted(t *testing.T) {
+	var buf bytes.Buffer
+	BarMap(&buf, "", map[string]int{"low": 1, "high": 9}, 10)
+	out := buf.String()
+	if strings.Index(out, "high") > strings.Index(out, "low") {
+		t.Fatal("BarMap not sorted descending")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "s", []string{"jan", "feb", "mar"}, []float64{1, 3, 2}, 3)
+	out := buf.String()
+	if !strings.Contains(out, "jan") || !strings.Contains(out, "mar") {
+		t.Fatalf("axis labels missing: %q", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no data marks")
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "s", nil, nil, 3)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("empty series not handled")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, [][]string{
+		{"Feature", "Distinct"},
+		{"Font List", "115128"},
+		{"UA", "41060"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "Feature") || !strings.Contains(out, "115128") {
+		t.Fatalf("output: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, nil)
+	if buf.Len() != 0 {
+		t.Fatal("empty table produced output")
+	}
+}

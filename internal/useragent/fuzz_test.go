@@ -1,0 +1,71 @@
+package useragent
+
+import "testing"
+
+// FuzzParse exercises the UA parser with arbitrary input: it must
+// never panic, and whatever it accepts must re-render to a string that
+// parses back to the same structured identity.
+func FuzzParse(f *testing.F) {
+	for _, u := range sampleUAs() {
+		f.Add(u.String())
+	}
+	f.Add("")
+	f.Add("curl/7.58.0")
+	f.Add("Mozilla/5.0 (Windows NT 99.9) Chrome/1.2.3.4.5.6")
+	f.Add("Chrome/63.0.3239.132 SamsungBrowser/6.2 OPR/1 Edge/2 Firefox/3")
+	f.Fuzz(func(t *testing.T, s string) {
+		ua1, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Arbitrary input may describe combinations our synthesizer
+		// cannot render (e.g. a desktop browser claiming Android), so
+		// the first round may normalize. The invariant is convergence:
+		// after one parse→render round, identity must be a fixed point.
+		ua2, err := Parse(ua1.String())
+		if err != nil {
+			t.Fatalf("synthesized UA unparseable: %q from %q", ua1.String(), s)
+		}
+		ua3, err := Parse(ua2.String())
+		if err != nil {
+			t.Fatalf("re-synthesized UA unparseable: %q", ua2.String())
+		}
+		if ua3.Browser != ua2.Browser || ua3.OS != ua2.OS || ua3.Mobile != ua2.Mobile {
+			t.Fatalf("identity did not converge: %#v vs %#v (input %q)", ua3, ua2, s)
+		}
+	})
+}
+
+// FuzzSubfields verifies the tokenizer's exact-inverse property on
+// arbitrary strings.
+func FuzzSubfields(f *testing.F) {
+	f.Add("gzip, deflate, br")
+	f.Add("Mozilla/5.0 (Windows NT 10.0; Win64; x64)")
+	f.Add("")
+	f.Add("  spaces   and\ttabs ")
+	f.Fuzz(func(t *testing.T, s string) {
+		if got := JoinSubfields(Subfields(s)); got != s {
+			t.Fatalf("join(subfields(%q)) = %q", s, got)
+		}
+	})
+}
+
+// FuzzParseVersion: the version parser must never panic and accepted
+// versions must round trip.
+func FuzzParseVersion(f *testing.F) {
+	f.Add("63.0.3239.132")
+	f.Add("11.2")
+	f.Add("")
+	f.Add("1..2")
+	f.Add("-1.2")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVersion(s)
+		if err != nil {
+			return
+		}
+		rt, err := ParseVersion(v.String())
+		if err != nil || rt.Compare(v) != 0 {
+			t.Fatalf("version %q did not round trip: %v, %v", s, rt, err)
+		}
+	})
+}

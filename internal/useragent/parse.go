@@ -1,0 +1,206 @@
+package useragent
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Parsing covers the UA formats this package synthesizes (every family in
+// the study). The collection client uses Parse to derive the Browser, OS
+// and Device features of Table 1 from the raw User-Agent header, and the
+// dynamics classifier uses it to decide whether a UA delta is a browser
+// update, an OS update, or an inconsistency.
+
+var (
+	reSamsung    = regexp.MustCompile(`SamsungBrowser/([\d.]+)`)
+	reChrome     = regexp.MustCompile(`Chrome/([\d.]+)`)
+	reCriOS      = regexp.MustCompile(`CriOS/([\d.]+)`)
+	reFxiOS      = regexp.MustCompile(`FxiOS/([\d.]+)`)
+	reFirefox    = regexp.MustCompile(`Firefox/([\d.]+)`)
+	reVersionTok = regexp.MustCompile(`Version/([\d.]+)`)
+	reEdge       = regexp.MustCompile(`Edge/([\d.]+)`)
+	reOpera      = regexp.MustCompile(`OPR/([\d.]+)`)
+	reMaxthon    = regexp.MustCompile(`Maxthon/([\d.]+)`)
+	reTrident    = regexp.MustCompile(`Trident/[\d.]+; rv:([\d.]+)`)
+	reWindowsNT  = regexp.MustCompile(`Windows NT ([\d.]+)`)
+	reMacOS      = regexp.MustCompile(`Mac OS X ([\d_]+)`)
+	reIOSDevice  = regexp.MustCompile(`\((iPhone|iPad|iPod touch); CPU (?:iPhone )?OS ([\d_]+) like Mac OS X\)`)
+	reAndroid    = regexp.MustCompile(`Android ([\d.]+)(?:; (?:SAMSUNG )?([^);]+))?`)
+)
+
+// Parse decodes a user-agent string into its structured form. It
+// recognizes the formats synthesized by UA.String; for anything else it
+// returns an error (the collection pipeline records such UAs verbatim and
+// flags a consistency feature instead of guessing).
+func Parse(s string) (UA, error) {
+	var u UA
+	switch {
+	case reSamsung.MatchString(s):
+		u.Browser = Samsung
+		u.Mobile = true
+		u.BrowserVersion = mustVer(reSamsung, s)
+	case reOpera.MatchString(s):
+		u.Browser = Opera
+		u.BrowserVersion = mustVer(reOpera, s)
+	case reEdge.MatchString(s):
+		u.Browser = Edge
+		u.BrowserVersion = mustVer(reEdge, s)
+	case reMaxthon.MatchString(s):
+		u.Browser = Maxthon
+		u.BrowserVersion = mustVer(reMaxthon, s)
+	case reCriOS.MatchString(s):
+		u.Browser = ChromeMobile
+		u.Mobile = true
+		u.BrowserVersion = mustVer(reCriOS, s)
+	case reFxiOS.MatchString(s):
+		u.Browser = FirefoxMobile
+		u.Mobile = true
+		u.BrowserVersion = mustVer(reFxiOS, s)
+	case reFirefox.MatchString(s):
+		u.BrowserVersion = mustVer(reFirefox, s)
+		if strings.Contains(s, "Android") {
+			u.Browser = FirefoxMobile
+			u.Mobile = true
+		} else {
+			u.Browser = Firefox
+		}
+	case reChrome.MatchString(s):
+		u.BrowserVersion = mustVer(reChrome, s)
+		if strings.Contains(s, "Mobile Safari") {
+			u.Browser = ChromeMobile
+			u.Mobile = true
+		} else {
+			u.Browser = Chrome
+		}
+	case reVersionTok.MatchString(s) && strings.Contains(s, "Safari"):
+		u.BrowserVersion = mustVer(reVersionTok, s)
+		if strings.Contains(s, "Mobile/") {
+			u.Browser = MobileSafari
+			u.Mobile = true
+		} else {
+			u.Browser = Safari
+		}
+	case reTrident.MatchString(s):
+		u.Browser = IE
+		u.BrowserVersion = mustVer(reTrident, s)
+	default:
+		return UA{}, fmt.Errorf("useragent: unrecognized user agent %q", s)
+	}
+
+	// Platform.
+	switch {
+	case reIOSDevice.MatchString(s):
+		m := reIOSDevice.FindStringSubmatch(s)
+		u.OS = IOS
+		u.Device = m[1]
+		u.OSVersion = underscoredVer(m[2])
+	case reAndroid.MatchString(s):
+		m := reAndroid.FindStringSubmatch(s)
+		u.OS = Android
+		if v, err := ParseVersion(m[1]); err == nil {
+			u.OSVersion = v
+		}
+		if len(m) > 2 {
+			u.Device = strings.TrimSpace(m[2])
+		}
+	case reWindowsNT.MatchString(s):
+		u.OS = Windows
+		u.OSVersion = ntToWindows(reWindowsNT.FindStringSubmatch(s)[1])
+	case reMacOS.MatchString(s):
+		u.OS = MacOSX
+		u.OSVersion = underscoredVer(reMacOS.FindStringSubmatch(s)[1])
+	case strings.Contains(s, "Linux"):
+		u.OS = Linux
+		u.OSVersion = V(0)
+	default:
+		u.OS = Linux
+		u.OSVersion = V(0)
+	}
+	// Mobile-only browser families imply their platform even when the
+	// platform token is missing or mangled.
+	if u.OS == Linux {
+		switch u.Browser {
+		case Samsung, FirefoxMobile:
+			u.OS = Android
+		case ChromeMobile:
+			if u.Mobile {
+				u.OS = Android
+			}
+		case MobileSafari:
+			u.OS = IOS
+		}
+	}
+	return u, nil
+}
+
+func mustVer(re *regexp.Regexp, s string) Version {
+	m := re.FindStringSubmatch(s)
+	v, err := ParseVersion(m[1])
+	if err != nil {
+		return V(0)
+	}
+	return v
+}
+
+func underscoredVer(s string) Version {
+	v, err := ParseVersion(strings.ReplaceAll(s, "_", "."))
+	if err != nil {
+		return V(0)
+	}
+	return v
+}
+
+// Subfields tokenizes a user-agent (or any header) string into the
+// ordered subfields of §2.3.2: runs of letters/digits, individual
+// punctuation marks, and runs of whitespace each become one subfield.
+// Keeping whitespace as its own token preserves deltas like Maxthon's
+// "gzip,deflate" → "gzip, deflate" change cited in the paper.
+func Subfields(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	var cur strings.Builder
+	class := func(r byte) int {
+		switch {
+		case r == ' ' || r == '\t':
+			return 0 // whitespace run
+		case r >= '0' && r <= '9':
+			return 1 // digit run
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+			return 2 // letter run
+		default:
+			return 3 // punctuation: one token per character
+		}
+	}
+	prev := -1
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := class(s[i])
+		if c == 3 { // punctuation never coalesces
+			flush()
+			out = append(out, s[i:i+1]) // byte-exact slice, not a rune conversion
+			prev = -1
+			continue
+		}
+		if c != prev {
+			flush()
+		}
+		cur.WriteByte(s[i])
+		prev = c
+	}
+	flush()
+	return out
+}
+
+// JoinSubfields reassembles a subfield slice back into the original
+// string. Subfields and JoinSubfields are exact inverses.
+func JoinSubfields(fields []string) string {
+	return strings.Join(fields, "")
+}

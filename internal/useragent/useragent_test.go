@@ -1,0 +1,251 @@
+package useragent
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVersionString(t *testing.T) {
+	cases := []struct {
+		v    Version
+		want string
+	}{
+		{V(63, 0, 3239, 132), "63.0.3239.132"},
+		{V(11, 2), "11.2"},
+		{V(58), "58"},
+		{V(7, 0), "7.0"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Version%v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseVersionRoundTrip(t *testing.T) {
+	for _, s := range []string{"63.0.3239.132", "11.2", "58", "10.13.2"} {
+		v, err := ParseVersion(s)
+		if err != nil {
+			t.Fatalf("ParseVersion(%q): %v", s, err)
+		}
+		if v.String() != s {
+			t.Errorf("round trip %q -> %q", s, v.String())
+		}
+	}
+}
+
+func TestParseVersionErrors(t *testing.T) {
+	for _, s := range []string{"", "a.b", "1.2.3.4.5", "1.-2", "1..2"} {
+		if _, err := ParseVersion(s); err == nil {
+			t.Errorf("ParseVersion(%q) should fail", s)
+		}
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want int
+	}{
+		{V(56), V(57), -1},
+		{V(57), V(56), 1},
+		{V(11, 2), V(11, 2), 0},
+		{V(11), V(11, 0), 0}, // unset compares as zero
+		{V(10, 3, 2), V(10, 3, 3), -1},
+		{V(63, 0, 3239, 108), V(63, 0, 3239, 132), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVersionUnderscored(t *testing.T) {
+	if got := V(10, 13, 2).Underscored(); got != "10_13_2" {
+		t.Errorf("Underscored = %q", got)
+	}
+}
+
+// sample returns one representative UA per family.
+func sampleUAs() []UA {
+	return []UA{
+		{Browser: Chrome, BrowserVersion: V(63, 0, 3239, 132), OS: Windows, OSVersion: V(10)},
+		{Browser: Chrome, BrowserVersion: V(64, 0, 3282, 140), OS: MacOSX, OSVersion: V(10, 13, 2)},
+		{Browser: ChromeMobile, BrowserVersion: V(63, 0, 3239, 111), OS: Android, OSVersion: V(7, 0), Device: "SM-G920F", Mobile: true},
+		{Browser: Samsung, BrowserVersion: V(6, 2), OS: Android, OSVersion: V(7, 0), Device: "SM-J330F", Mobile: true},
+		{Browser: Firefox, BrowserVersion: V(58), OS: Windows, OSVersion: V(7)},
+		{Browser: FirefoxMobile, BrowserVersion: V(58), OS: Android, OSVersion: V(8, 0, 0), Mobile: true},
+		{Browser: Safari, BrowserVersion: V(11, 0, 2), OS: MacOSX, OSVersion: V(10, 13, 2)},
+		{Browser: MobileSafari, BrowserVersion: V(11, 0), OS: IOS, OSVersion: V(11, 2, 1), Device: "iPhone", Mobile: true},
+		{Browser: ChromeMobile, BrowserVersion: V(63, 0, 3239, 73), OS: IOS, OSVersion: V(11, 2), Device: "iPhone", Mobile: true},
+		{Browser: FirefoxMobile, BrowserVersion: V(10), OS: IOS, OSVersion: V(11, 2), Device: "iPad", Mobile: true},
+		{Browser: Edge, BrowserVersion: V(16, 16299), OS: Windows, OSVersion: V(10)},
+		{Browser: Opera, BrowserVersion: V(49, 0, 2725, 47), OS: Windows, OSVersion: V(10)},
+		{Browser: Maxthon, BrowserVersion: V(5, 1, 3, 2000), OS: Windows, OSVersion: V(10)},
+	}
+}
+
+func TestSynthesizeParseRoundTrip(t *testing.T) {
+	for _, u := range sampleUAs() {
+		s := u.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got.Browser != u.Browser {
+			t.Errorf("%q: browser = %q, want %q", s, got.Browser, u.Browser)
+		}
+		if got.BrowserVersion.Compare(u.BrowserVersion) != 0 {
+			t.Errorf("%q: version = %v, want %v", s, got.BrowserVersion, u.BrowserVersion)
+		}
+		if got.OS != u.OS {
+			t.Errorf("%q: os = %q, want %q", s, got.OS, u.OS)
+		}
+		if got.Mobile != u.Mobile {
+			t.Errorf("%q: mobile = %v, want %v", s, got.Mobile, u.Mobile)
+		}
+	}
+}
+
+func TestParseDeviceModel(t *testing.T) {
+	u := UA{Browser: Samsung, BrowserVersion: V(6, 2), OS: Android, OSVersion: V(7, 0), Device: "SM-J330F", Mobile: true}
+	got, err := Parse(u.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device != "SM-J330F" {
+		t.Errorf("device = %q, want SM-J330F", got.Device)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "curl/7.58.0", "definitely not a UA"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestWindowsNTTokens(t *testing.T) {
+	u := UA{Browser: Chrome, BrowserVersion: V(63), OS: Windows, OSVersion: V(7)}
+	if s := u.String(); !strings.Contains(s, "Windows NT 6.1") {
+		t.Errorf("Windows 7 should render NT 6.1, got %q", s)
+	}
+	got, err := Parse(u.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OSVersion.Major != 7 {
+		t.Errorf("parsed windows version = %v, want 7", got.OSVersion)
+	}
+}
+
+func TestRequestDesktopScenario(t *testing.T) {
+	// Figure 11(a): mobile Chrome requesting a desktop page presents a
+	// Linux desktop UA with the same Chrome version.
+	m := UA{Browser: ChromeMobile, BrowserVersion: V(77, 0, 3865, 92), OS: Android, OSVersion: V(9), Device: "SM-N960U", Mobile: true}
+	d := m.RequestDesktop()
+	if d.Browser != Chrome || d.OS != Linux || d.Mobile {
+		t.Fatalf("RequestDesktop = %+v", d)
+	}
+	if d.BrowserVersion.Compare(m.BrowserVersion) != 0 {
+		t.Error("browser version must be preserved across desktop request")
+	}
+	if !strings.Contains(d.String(), "X11; Linux x86_64") {
+		t.Errorf("desktop UA = %q", d.String())
+	}
+}
+
+func TestRequestDesktopSafari(t *testing.T) {
+	m := UA{Browser: MobileSafari, BrowserVersion: V(11, 0), OS: IOS, OSVersion: V(11, 2), Device: "iPad", Mobile: true}
+	d := m.RequestDesktop()
+	if d.Browser != Safari || d.OS != MacOSX {
+		t.Fatalf("RequestDesktop for iOS = %+v", d)
+	}
+}
+
+func TestSubfieldsWhitespacePreserved(t *testing.T) {
+	// The Maxthon 4.9→5.1 example: "gzip,deflate" vs "gzip, deflate".
+	a := Subfields("gzip,deflate")
+	b := Subfields("gzip, deflate")
+	if len(b) != len(a)+1 {
+		t.Fatalf("whitespace must be its own subfield: %v vs %v", a, b)
+	}
+}
+
+func TestSubfieldsJoinInverse(t *testing.T) {
+	for _, u := range sampleUAs() {
+		s := u.String()
+		if got := JoinSubfields(Subfields(s)); got != s {
+			t.Errorf("join(subfields(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestSubfieldsSplitsVersions(t *testing.T) {
+	fields := Subfields("Chrome/63.0.3239.132")
+	// Expect "Chrome", "/", "63", ".", "0", ".", "3239", ".", "132".
+	if len(fields) != 9 {
+		t.Fatalf("fields = %v (len %d), want 9 tokens", fields, len(fields))
+	}
+	if fields[0] != "Chrome" || fields[2] != "63" || fields[8] != "132" {
+		t.Fatalf("unexpected tokenization: %v", fields)
+	}
+}
+
+func TestSubfieldsEmpty(t *testing.T) {
+	if got := Subfields(""); got != nil {
+		t.Errorf("Subfields(\"\") = %v, want nil", got)
+	}
+}
+
+// Property: JoinSubfields is the exact inverse of Subfields for printable
+// ASCII strings (the character set of real header values).
+func TestSubfieldsRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			s = append(s, 32+b%95) // printable ASCII
+		}
+		return JoinSubfields(Subfields(string(s))) == string(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: version compare is antisymmetric and String round-trips.
+func TestVersionCompareProperty(t *testing.T) {
+	f := func(a, b uint8, c, d uint8) bool {
+		v1 := V(int(a), int(b))
+		v2 := V(int(c), int(d))
+		if v1.Compare(v2) != -v2.Compare(v1) {
+			return false
+		}
+		rt, err := ParseVersion(v1.String())
+		return err == nil && rt.Compare(v1) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseChrome(b *testing.B) {
+	s := UA{Browser: Chrome, BrowserVersion: V(63, 0, 3239, 132), OS: Windows, OSVersion: V(10)}.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubfields(b *testing.B) {
+	s := UA{Browser: Samsung, BrowserVersion: V(6, 2), OS: Android, OSVersion: V(7, 0), Device: "SM-J330F", Mobile: true}.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Subfields(s)
+	}
+}
