@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+## check: the full gate — build, vet, and the race-enabled test suite.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the Figure 9 matching-time benchmarks plus the engine
+## ablations (blocking on/off, serial vs parallel scoring).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkFigure9MatchTime|BenchmarkTopKBlocked|BenchmarkTopKParallel' -benchtime 2000x .

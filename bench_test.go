@@ -146,21 +146,37 @@ func evolvedQuery(rec *fingerprint.Record) *fingerprint.Record {
 	return &cp
 }
 
+// engineModes are the two matching-engine configurations every Figure 9
+// bench compares: the paper's serial linear scan and the blocked,
+// parallel engine.
+var engineModes = []struct {
+	name       string
+	noBlocking bool
+	workers    int
+}{
+	{"scan", true, 1},
+	{"engine", false, 0},
+}
+
 func BenchmarkFigure9MatchTimeRule(b *testing.B) {
 	w := world(b)
 	for _, size := range []int{1000, 4000, len(w.ds.Records)} {
-		b.Run(itoa(size), func(b *testing.B) {
-			l := fpstalker.NewRuleLinker()
-			for i := 0; i < size && i < len(w.ds.Records); i++ {
-				l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), w.ds.Records[i])
-			}
-			q := evolvedQuery(w.ds.Records[size/2])
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				l.TopK(q, 10)
-			}
-		})
+		for _, mode := range engineModes {
+			b.Run(itoa(size)+"/"+mode.name, func(b *testing.B) {
+				l := fpstalker.NewRuleLinker()
+				l.NoBlocking = mode.noBlocking
+				l.Workers = mode.workers
+				for i := 0; i < size && i < len(w.ds.Records); i++ {
+					l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), w.ds.Records[i])
+				}
+				q := evolvedQuery(w.ds.Records[size/2])
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l.TopK(q, 10)
+				}
+			})
+		}
 	}
 }
 
@@ -173,12 +189,88 @@ func BenchmarkFigure9MatchTimeLearning(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, size := range []int{1000, 4000} {
-		b.Run(itoa(size), func(b *testing.B) {
-			l := fpstalker.NewLearnLinker(forest)
-			for i := 0; i < size; i++ {
-				l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), w.ds.Records[i])
+		for _, mode := range engineModes {
+			b.Run(itoa(size)+"/"+mode.name, func(b *testing.B) {
+				l := fpstalker.NewLearnLinker(forest)
+				l.NoBlocking = mode.noBlocking
+				l.Workers = mode.workers
+				for i := 0; i < size; i++ {
+					l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), w.ds.Records[i])
+				}
+				q := evolvedQuery(w.ds.Records[size/2])
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l.TopK(q, 10)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopKBlocked isolates the candidate-blocking lever: serial
+// scoring either over the whole table (the paper's scan) or only the
+// query's (browser, OS, mobile) bucket.
+func BenchmarkTopKBlocked(b *testing.B) {
+	w := world(b)
+	q := evolvedQuery(w.ds.Records[len(w.ds.Records)/2])
+	for _, mode := range []struct {
+		name       string
+		noBlocking bool
+	}{{"scan", true}, {"blocked", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			l := fpstalker.NewRuleLinker()
+			l.NoBlocking = mode.noBlocking
+			l.Workers = 1
+			for i, rec := range w.ds.Records {
+				l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), rec)
 			}
-			q := evolvedQuery(w.ds.Records[size/2])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.TopK(q, 10)
+			}
+		})
+	}
+}
+
+// BenchmarkTopKParallel isolates the worker-pool lever: the full
+// unblocked table scored serially versus across all cores, for both
+// FP-Stalker variants (the learning one's per-pair forest evaluation
+// parallelizes best).
+func BenchmarkTopKParallel(b *testing.B) {
+	w := world(b)
+	n := len(w.ds.Records) / 2
+	forest, err := fpstalker.TrainPairModel(w.ds.Records[:n], w.ds.TrueInstance[:n],
+		mlearn.ForestConfig{Seed: 1, NumTrees: 10, MaxDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := evolvedQuery(w.ds.Records[len(w.ds.Records)/2])
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("rule/"+mode.name, func(b *testing.B) {
+			l := fpstalker.NewRuleLinker()
+			l.NoBlocking = true
+			l.Workers = mode.workers
+			for i, rec := range w.ds.Records {
+				l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), rec)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.TopK(q, 10)
+			}
+		})
+		b.Run("learning/"+mode.name, func(b *testing.B) {
+			l := fpstalker.NewLearnLinker(forest)
+			l.NoBlocking = true
+			l.Workers = mode.workers
+			for i, rec := range w.ds.Records {
+				l.Add(fpstalker.InstanceID(w.ds.TrueInstance[i]), rec)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -8,6 +8,12 @@
 //	fpstalker -bench time -sizes 1000,5000,20000
 //	fpstalker -bench f1 -users 3000 -variant both
 //	fpstalker -bench cases
+//
+// By default both FP-Stalker variants run on the blocked, parallel
+// matching engine. To reproduce the paper's Figure 9 linear-scan
+// numbers, disable both levers:
+//
+//	fpstalker -bench time -noblocking -workers 1
 package main
 
 import (
@@ -36,20 +42,58 @@ func main() {
 	sizes := flag.String("sizes", "1000,2000,5000,10000", "database sizes for the time sweep")
 	variant := flag.String("variant", "both", "rule, learning, or both")
 	k := flag.Int("k", 10, "top-k candidates (the paper reports top 10)")
+	noBlocking := flag.Bool("noblocking", false, "disable candidate blocking — the paper's full linear scan (Figure 9 ablation)")
+	workers := flag.Int("workers", 0, "scoring workers per query: 0 = all cores, 1 = serial")
 	flag.Parse()
 
+	cfg := engineCfg{noBlocking: *noBlocking, workers: *workers}
 	switch *bench {
 	case "time":
-		benchTime(parseSizes(*sizes), *variant, *seed, *k)
+		benchTime(parseSizes(*sizes), *variant, *seed, *k, cfg)
 	case "f1":
-		benchF1(*users, *variant, *seed, *k)
+		benchF1(*users, *variant, *seed, *k, cfg)
 	case "cases":
 		benchCases()
 	case "chains":
-		benchChains(*users, *seed)
+		benchChains(*users, *seed, cfg)
 	default:
 		log.Fatalf("fpstalker: unknown bench %q", *bench)
 	}
+}
+
+// engineCfg carries the matching-engine flags into each sweep.
+type engineCfg struct {
+	noBlocking bool
+	workers    int
+}
+
+func (c engineCfg) rule() *fpstalker.RuleLinker {
+	l := fpstalker.NewRuleLinker()
+	l.NoBlocking = c.noBlocking
+	l.Workers = c.workers
+	return l
+}
+
+func (c engineCfg) learn(f *mlearn.Forest) *fpstalker.LearnLinker {
+	l := fpstalker.NewLearnLinker(f)
+	l.NoBlocking = c.noBlocking
+	l.Workers = c.workers
+	return l
+}
+
+func (c engineCfg) String() string {
+	mode := "blocking on"
+	if c.noBlocking {
+		mode = "linear scan"
+	}
+	w := "all cores"
+	switch {
+	case c.workers == 1:
+		w = "serial"
+	case c.workers > 1:
+		w = fmt.Sprintf("%d workers", c.workers)
+	}
+	return mode + ", " + w
 }
 
 func parseSizes(s string) []int {
@@ -84,10 +128,10 @@ func worldFor(n int, seed int64) *population.Dataset {
 // benchTime reproduces Figure 9: mean matching time per query as the
 // database grows. Queries are evolved fingerprints (non-exact), the
 // expensive path.
-func benchTime(sizes []int, variant string, seed int64, k int) {
+func benchTime(sizes []int, variant string, seed int64, k int, cfg engineCfg) {
 	maxSize := sizes[len(sizes)-1]
 	ds := worldFor(maxSize+100, seed)
-	fmt.Printf("Figure 9: matching time vs database size (top-%d)\n", k)
+	fmt.Printf("Figure 9: matching time vs database size (top-%d; engine: %s)\n", k, cfg)
 	rows := [][]string{{"db size", "rule-based", "learning-based", "hybrid (Advices 5-8)"}}
 
 	var forest *mlearn.Forest
@@ -107,14 +151,14 @@ func benchTime(sizes []int, variant string, seed int64, k int) {
 		}
 		row := []string{fmt.Sprintf("%d", size)}
 		if variant != "learning" {
-			rl := fpstalker.NewRuleLinker()
+			rl := cfg.rule()
 			fill(rl, ds, size)
 			row = append(row, fpstalker.TimeMatching(rl, queries, k).String())
 		} else {
 			row = append(row, "-")
 		}
 		if variant != "rule" {
-			ll := fpstalker.NewLearnLinker(forest)
+			ll := cfg.learn(forest)
 			fill(ll, ds, size)
 			row = append(row, fpstalker.TimeMatching(ll, queries, k).String())
 		} else {
@@ -154,19 +198,19 @@ func evolvedQueries(ds *population.Dataset, n int) []*fingerprint.Record {
 
 // benchF1 reproduces Figure 10: precision/recall/F1 of top-k linking
 // over a full replay, at increasing dataset sizes.
-func benchF1(users int, variant string, seed int64, k int) {
+func benchF1(users int, variant string, seed int64, k int, ecfg engineCfg) {
 	cfg := population.DefaultConfig(users)
 	cfg.Seed = seed
 	ds := population.Simulate(cfg)
 	fractions := []float64{0.25, 0.5, 0.75, 1.0}
-	fmt.Printf("Figure 10: precision / recall / F1 for top-%d prediction\n", k)
+	fmt.Printf("Figure 10: precision / recall / F1 for top-%d prediction (engine: %s)\n", k, ecfg)
 	rows := [][]string{{"records", "variant", "precision", "recall", "F1", "mean match"}}
 
 	for _, frac := range fractions {
 		n := int(frac * float64(len(ds.Records)))
 		recs, inst := ds.Records[:n], ds.TrueInstance[:n]
 		if variant != "learning" {
-			res := fpstalker.Evaluate(fpstalker.NewRuleLinker(), recs, inst, k)
+			res := fpstalker.Evaluate(ecfg.rule(), recs, inst, k)
 			rows = append(rows, f1Row(n, "rule", res))
 		}
 		if variant != "rule" {
@@ -174,7 +218,7 @@ func benchF1(users int, variant string, seed int64, k int) {
 			if err != nil {
 				log.Fatalf("fpstalker: train: %v", err)
 			}
-			res := fpstalker.Evaluate(fpstalker.NewLearnLinker(forest), recs, inst, k)
+			res := fpstalker.Evaluate(ecfg.learn(forest), recs, inst, k)
 			rows = append(rows, f1Row(n, "learning", res))
 		}
 		res := fpstalker.Evaluate(linker.New(), recs, inst, k)
@@ -196,18 +240,18 @@ func f1Row(n int, variant string, res fpstalker.EvalResult) []string {
 
 // benchChains runs the chain-reconstruction protocol (FP-Stalker's
 // original "tracking duration" metric) for each linker.
-func benchChains(users int, seed int64) {
+func benchChains(users int, seed int64, ecfg engineCfg) {
 	cfg := population.DefaultConfig(users)
 	cfg.Seed = seed
 	ds := population.Simulate(cfg)
-	fmt.Printf("Chain reconstruction over %d records (%d true instances)\n",
-		len(ds.Records), ds.NumInstances)
+	fmt.Printf("Chain reconstruction over %d records (%d true instances; engine: %s)\n",
+		len(ds.Records), ds.NumInstances, ecfg)
 	rows := [][]string{{"linker", "chains", "avg tracking duration", "chain purity", "split ratio"}}
 	for _, v := range []struct {
 		name string
 		mk   func() fpstalker.Linker
 	}{
-		{"rule-based", func() fpstalker.Linker { return fpstalker.NewRuleLinker() }},
+		{"rule-based", func() fpstalker.Linker { return ecfg.rule() }},
 		{"hybrid", func() fpstalker.Linker { return linker.New() }},
 	} {
 		res := fpstalker.ChainEvaluate(v.mk(), ds.Records, ds.TrueInstance)

@@ -1,7 +1,7 @@
 package fpstalker
 
 import (
-	"fmt"
+	"strconv"
 	"time"
 
 	"fpdyn/internal/fingerprint"
@@ -37,7 +37,9 @@ type ChainResult struct {
 // ChainEvaluate replays the records through the linker, assigning each
 // record to the top candidate (or minting a fresh identity when the
 // linker returns none), then scores the resulting chains against the
-// true instances.
+// true instances. The replay is inherently sequential — each Add
+// changes what the next TopK can see — so parallelism lives inside the
+// engine's per-query scoring, not across the stream.
 func ChainEvaluate(l Linker, records []*fingerprint.Record, instances []int) ChainResult {
 	assigned := make([]string, len(records))
 	fresh := 0
@@ -48,7 +50,7 @@ func ChainEvaluate(l Linker, records []*fingerprint.Record, instances []int) Cha
 			id = cands[0].ID
 		} else {
 			fresh++
-			id = fmt.Sprintf("chain-%d", fresh)
+			id = "chain-" + strconv.Itoa(fresh)
 		}
 		assigned[i] = id
 		l.Add(id, rec)

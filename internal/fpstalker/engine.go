@@ -1,0 +1,293 @@
+package fpstalker
+
+import (
+	"runtime"
+	"sync"
+
+	"fpdyn/internal/useragent"
+)
+
+// The matching engine: what turns the paper's Figure 9 linear scan into
+// something a production linker can live with. Two independent levers,
+// each with an ablation flag so the paper's measurement stays
+// reproducible:
+//
+//   - candidate blocking ("Guess Who?"-style pre-filtering): entries are
+//     bucketed by the identity attributes the linking rules require to
+//     match exactly, so a query only ever scores entries its rules could
+//     accept. Disabled by NoBlocking (the Figure 9 configuration).
+//   - a worker-pool parallel scorer, chunked over the candidate set.
+//     Serial when Workers == 1 or the candidate set is small.
+//
+// Both levers are pure optimizations: the per-entry scoring functions
+// remain the complete filters, so blocked/parallel runs return exactly
+// the rankings of the serial linear scan (sortCandidates' total order —
+// score descending, then ID — is deterministic, and instance IDs are
+// unique).
+
+// blockKey buckets parsed entries by the attributes the rule-based
+// linker requires to be equal: browser family, OS family and form
+// factor (rule 2) plus the user-controlled storage toggles (rule 4).
+// Every component is an exact-equality constraint of the rule cascade,
+// so the bucket contains a superset of what score accepts.
+type blockKey struct {
+	browser      string
+	os           string
+	mobile       bool
+	cookie       bool
+	localStorage bool
+}
+
+// famKey is the coarser learning-variant bucket: its prefilter
+// constrains browser family and form factor but not OS.
+type famKey struct {
+	browser string
+	mobile  bool
+}
+
+// engine is the shared storage and candidate-generation core behind
+// both linkers: an RWMutex-guarded entry table plus the blocking
+// indexes. The mutex makes Add/TopK safe for concurrent callers, the
+// same contract internal/storage gives the collection server.
+type engine struct {
+	mu      sync.RWMutex
+	entries []*entry
+	byID    map[string]int // instance id → index in entries
+
+	blocks   map[blockKey][]int // parsed entries by (browser, OS, mobile)
+	fams     map[famKey][]int   // parsed entries by (browser, mobile)
+	raw      map[string][]int   // unparsed entries by verbatim UA string
+	unparsed []int              // every unparsed entry index
+}
+
+func newEngine() *engine {
+	return &engine{
+		byID:   make(map[string]int),
+		blocks: make(map[blockKey][]int),
+		fams:   make(map[famKey][]int),
+		raw:    make(map[string][]int),
+	}
+}
+
+func (g *engine) size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// add registers e as the latest fingerprint of id, replacing the
+// instance's previous entry in place (indexes stay stable). It returns
+// the entry's table index and the displaced entry, nil for a brand-new
+// instance. Callers must hold mu.
+func (g *engine) add(id string, e *entry) (int, *entry) {
+	if i, ok := g.byID[id]; ok {
+		old := g.entries[i]
+		g.entries[i] = e
+		g.unindex(old, i)
+		g.index(e, i)
+		return i, old
+	}
+	g.entries = append(g.entries, e)
+	i := len(g.entries) - 1
+	g.byID[id] = i
+	g.index(e, i)
+	return i, nil
+}
+
+// entryBlockKey is the rule-variant bucket of a parsed entry.
+func entryBlockKey(e *entry) blockKey {
+	return blockKey{e.ua.Browser, e.ua.OS, e.ua.Mobile,
+		e.rec.FP.CookieEnabled, e.rec.FP.LocalStorage}
+}
+
+func (g *engine) index(e *entry, i int) {
+	if e.ok {
+		bk := entryBlockKey(e)
+		g.blocks[bk] = append(g.blocks[bk], i)
+		fk := famKey{e.ua.Browser, e.ua.Mobile}
+		g.fams[fk] = append(g.fams[fk], i)
+		return
+	}
+	g.raw[e.rec.FP.UserAgent] = append(g.raw[e.rec.FP.UserAgent], i)
+	g.unparsed = append(g.unparsed, i)
+}
+
+func (g *engine) unindex(e *entry, i int) {
+	if e.ok {
+		removeFromBucket(g.blocks, entryBlockKey(e), i)
+		removeFromBucket(g.fams, famKey{e.ua.Browser, e.ua.Mobile}, i)
+		return
+	}
+	removeFromBucket(g.raw, e.rec.FP.UserAgent, i)
+	for j, v := range g.unparsed {
+		if v == i {
+			g.unparsed[j] = g.unparsed[len(g.unparsed)-1]
+			g.unparsed = g.unparsed[:len(g.unparsed)-1]
+			break
+		}
+	}
+}
+
+// removeFromBucket swap-deletes index i from m[k], dropping the key
+// when its bucket empties.
+func removeFromBucket[K comparable](m map[K][]int, k K, i int) {
+	s := m[k]
+	for j, v := range s {
+		if v == i {
+			s[j] = s[len(s)-1]
+			s = s[:len(s)-1]
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(m, k)
+	} else {
+		m[k] = s
+	}
+}
+
+// ruleCandidates generates the candidate set for the rule-based linker.
+// A parsed query can only link inside its (browser, OS, mobile,
+// storage toggles) bucket (rules 2 and 4). An unparseable query
+// requires a verbatim UA match, which only an unparsed entry of the
+// same string can satisfy — an identical string would have parsed
+// identically. all=true means "scan every entry" (the NoBlocking
+// ablation). Callers must hold mu.
+func (g *engine) ruleCandidates(q *entry, noBlocking bool) (cand []int, all bool) {
+	if noBlocking {
+		return nil, true
+	}
+	if q.ok {
+		return g.blocks[entryBlockKey(q)], false
+	}
+	return g.raw[q.rec.FP.UserAgent], false
+}
+
+// learnCandidates generates the candidate set for the learning-based
+// linker: its prefilter only fires when both sides parse, so a parsed
+// query faces its (browser, mobile) bucket plus every unparsed entry,
+// and an unparseable query faces the whole table. Callers must hold mu.
+func (g *engine) learnCandidates(qUA useragent.UA, qOK bool, noBlocking bool) (cand []int, all bool) {
+	if noBlocking || !qOK {
+		return nil, true
+	}
+	bucket := g.fams[famKey{qUA.Browser, qUA.Mobile}]
+	if len(g.unparsed) == 0 {
+		return bucket, false
+	}
+	cand = make([]int, 0, len(bucket)+len(g.unparsed))
+	cand = append(append(cand, bucket...), g.unparsed...)
+	return cand, false
+}
+
+// minParallel is the candidate count below which scoring stays serial:
+// spawning the pool costs more than scanning a small bucket.
+const minParallel = 256
+
+// candPool recycles the scoring scratch buffers. A query over a large
+// bucket accepts hundreds of candidates; building that slice fresh per
+// TopK made the matching engine an allocation hot spot (and, against
+// the dataset-sized live heap, a GC hot spot). Only the ≤ k ranked
+// results are copied out to the caller.
+var candPool = sync.Pool{New: func() any { return new([]Candidate) }}
+
+// scoreTopK applies score to each candidate entry (the whole table when
+// all is set), ranks the accepted ones best-first and returns the top
+// k as a fresh slice. workers ≤ 0 sizes the pool to GOMAXPROCS;
+// workers == 1 or a small candidate set keeps it serial. Parallel
+// chunks are merged before the deterministic sort, so blocked,
+// parallel and serial runs return identical rankings. Callers must
+// hold mu (read side suffices: scoring never mutates the table).
+func (g *engine) scoreTopK(cand []int, all bool, workers, k int, score func(*entry) (float64, bool)) []Candidate {
+	n := len(cand)
+	if all {
+		n = len(g.entries)
+	}
+	at := func(j int) *entry {
+		if all {
+			return g.entries[j]
+		}
+		return g.entries[cand[j]]
+	}
+	run := func(lo, hi int, out []Candidate) []Candidate {
+		for j := lo; j < hi; j++ {
+			e := at(j)
+			if s, ok := score(e); ok {
+				out = append(out, Candidate{ID: e.id, Score: s})
+			}
+		}
+		return out
+	}
+	bufp := candPool.Get().(*[]Candidate)
+	buf := (*bufp)[:0]
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < minParallel {
+		buf = run(0, n, buf)
+	} else {
+		if workers > n {
+			workers = n
+		}
+		chunk := (n + workers - 1) / workers
+		parts := make([]*[]Candidate, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, n)
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				bp := candPool.Get().(*[]Candidate)
+				*bp = run(lo, hi, (*bp)[:0])
+				parts[w] = bp
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, bp := range parts {
+			if bp == nil {
+				continue
+			}
+			buf = append(buf, *bp...)
+			*bp = (*bp)[:0]
+			candPool.Put(bp)
+		}
+	}
+	res := topK(buf, k)
+	*bufp = buf[:0]
+	candPool.Put(bufp)
+	return res
+}
+
+// topK ranks candidates best-first and returns a copy of the leading
+// k, leaving cands free for reuse. For large accepted sets it selects
+// instead of sorting: one insertion pass through a k-sized ordered
+// buffer under the same total order as sortCandidates, so the result
+// is identical to sort-then-truncate.
+func topK(cands []Candidate, k int) []Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	if len(cands) <= k {
+		out := append(make([]Candidate, 0, len(cands)), cands...)
+		sortCandidates(out)
+		return out
+	}
+	best := make([]Candidate, 0, k+1)
+	for _, c := range cands {
+		if len(best) == k && !rankBefore(c, best[k-1]) {
+			continue
+		}
+		best = append(best, c)
+		for i := len(best) - 1; i > 0 && rankBefore(best[i], best[i-1]); i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	return best
+}

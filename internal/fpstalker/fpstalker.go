@@ -6,13 +6,18 @@
 // time grows linearly with the database (Figure 9) and F1 falls
 // (Figure 10) — and documents characteristic false positives/negatives
 // (Figure 11). This package reproduces the algorithms and the
-// evaluation harness behind those figures.
+// evaluation harness behind those figures, and adds the blocked,
+// parallel matching engine (engine.go) that removes the Figure 9 wall
+// while returning identical rankings.
 package fpstalker
 
 import (
+	"slices"
 	"sort"
+	"time"
 
 	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/hashutil"
 	"fpdyn/internal/useragent"
 )
 
@@ -33,36 +38,131 @@ type Linker interface {
 	Len() int
 }
 
-// entry is the last known fingerprint of one instance, with
-// preparsed fields the rules consult on every comparison.
+// entry is the last known fingerprint of one instance, with preparsed
+// fields the scoring consults on every comparison: the structured UA
+// and the canonical feature keys. Precomputing both at Add time is
+// what keeps per-candidate scoring at string compares — re-deriving
+// them per pair (two regex parses plus ~30 Value.Key builds, several
+// of which hash whole font lists) is O(candidates) redundant work per
+// query, the dominant term of the paper's Figure 9 wall.
 type entry struct {
-	id  string
-	rec *fingerprint.Record
-	ua  useragent.UA
-	ok  bool // ua parsed
+	id   string
+	rec  *fingerprint.Record
+	ua   useragent.UA
+	ok   bool     // ua parsed
+	keys []uint64 // hashed non-IP feature keys, in Schema order
+
+	// hrs is rec.Time as fractional hours since the Unix epoch (0 when
+	// rec.Time is the zero value): the recency nudge runs per accepted
+	// candidate, and float arithmetic there is far cheaper than
+	// time.Time comparisons.
+	hrs     float64
+	hasTime bool
+
+	// Sorted, deduplicated element hashes of the set features the pair
+	// model computes Jaccard similarities over. Precomputing them turns
+	// the per-pair Jaccard into an allocation-free merge walk instead
+	// of building two maps per candidate.
+	fonts, plugins, langs []uint64
 }
 
 func newEntry(id string, rec *fingerprint.Record) *entry {
-	e := &entry{id: id, rec: rec}
-	if ua, err := useragent.Parse(rec.FP.UserAgent); err == nil {
+	e := &entry{id: id, rec: rec, keys: featureKeys(rec.FP)}
+	if !rec.Time.IsZero() {
+		e.hrs = float64(rec.Time.UnixNano()) / float64(time.Hour)
+		e.hasTime = true
+	}
+	if ua, err := useragent.CachedParse(rec.FP.UserAgent); err == nil {
 		e.ua, e.ok = ua, true
 	}
 	return e
 }
 
-// countFeatureDiffs counts differing non-IP schema features between two
-// fingerprints, and separately the differing members of the
-// rarely-changing set (canvas, fonts, GPU renderer, GPU images).
-func countFeatureDiffs(a, b *fingerprint.Fingerprint) (total, rare int) {
+// newPairEntry is newEntry plus the sorted set-feature hashes the pair
+// model's Jaccard features consume. The rule-based linker never needs
+// them, so only the learning paths pay for building them.
+func newPairEntry(id string, rec *fingerprint.Record) *entry {
+	e := newEntry(id, rec)
+	e.fonts = sortedHashSet(rec.FP.Fonts)
+	e.plugins = sortedHashSet(rec.FP.Plugins)
+	e.langs = sortedHashSet(rec.FP.Languages)
+	return e
+}
+
+// sortedHashSet hashes each element and returns the sorted unique
+// hashes — the merge-friendly set representation jaccardSorted walks.
+func sortedHashSet(ss []string) []uint64 {
+	if len(ss) == 0 {
+		return nil
+	}
+	hs := make([]uint64, len(ss))
+	for i, s := range ss {
+		hs[i] = hashutil.Hash64(s)
+	}
+	slices.Sort(hs)
+	out := hs[:1]
+	for _, h := range hs[1:] {
+		if h != out[len(out)-1] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// nonIPSchema lists the non-IP feature descriptors in Schema order;
+// rareAt marks the positions of the rarely-changing set (canvas,
+// fonts, GPU renderer, GPU images).
+var nonIPSchema, rareAt = func() ([]fingerprint.ID, []bool) {
+	var ids []fingerprint.ID
+	var rare []bool
 	for _, d := range fingerprint.Schema {
 		if d.IsIP {
 			continue
 		}
-		if a.Value(d.ID).Key() != b.Value(d.ID).Key() {
+		ids = append(ids, d.ID)
+		switch d.ID {
+		case fingerprint.FeatCanvas, fingerprint.FeatFontList,
+			fingerprint.FeatGPURenderer, fingerprint.FeatGPUImage:
+			rare = append(rare, true)
+		default:
+			rare = append(rare, false)
+		}
+	}
+	return ids, rare
+}()
+
+// numNonIP is the number of non-IP schema features — the denominator
+// of the rule-based similarity score.
+var numNonIP = len(nonIPSchema)
+
+// featureKeys precomputes a 64-bit hash of the canonical key of every
+// non-IP schema feature, in Schema order. Fixed-width hashes make the
+// per-pair comparison ~30 integer equality checks instead of string
+// compares over font-list digests; a hash collision misreading one
+// differing feature as equal happens with probability ~2^-64 per pair,
+// far below the noise floor of the similarity scores it feeds.
+func featureKeys(fp *fingerprint.Fingerprint) []uint64 {
+	keys := make([]uint64, len(nonIPSchema))
+	for i, id := range nonIPSchema {
+		v := fp.Value(id)
+		if v.Kind == fingerprint.KindSet {
+			keys[i] = hashutil.HashSet(v.Set)
+		} else {
+			keys[i] = hashutil.Hash64(v.Str)
+		}
+	}
+	return keys
+}
+
+// countKeyDiffs counts differing non-IP features between two
+// precomputed key slices, and separately the differing members of the
+// rarely-changing set.
+func countKeyDiffs(a, b []uint64) (total, rare int) {
+	b = b[:len(a)] // keys always share the schema length; hoist the bounds check
+	for i := range a {
+		if a[i] != b[i] {
 			total++
-			switch d.ID {
-			case fingerprint.FeatCanvas, fingerprint.FeatFontList,
-				fingerprint.FeatGPURenderer, fingerprint.FeatGPUImage:
+			if rareAt[i] {
 				rare++
 			}
 		}
@@ -70,12 +170,51 @@ func countFeatureDiffs(a, b *fingerprint.Fingerprint) (total, rare int) {
 	return total, rare
 }
 
+// countKeyDiffsBudget is countKeyDiffs with the rule-based linker's
+// budgets applied inline: it bails at the first feature that exceeds
+// either cap, so clearly-different same-bucket entries are rejected
+// without scanning the whole schema. ok=false means over budget.
+func countKeyDiffsBudget(a, b []uint64, maxTotal, maxRare int) (total int, ok bool) {
+	b = b[:len(a)] // keys always share the schema length; hoist the bounds check
+	rare := 0
+	for i := range a {
+		if a[i] != b[i] {
+			total++
+			if total > maxTotal {
+				return 0, false
+			}
+			if rareAt[i] {
+				rare++
+				if rare > maxRare {
+					return 0, false
+				}
+			}
+		}
+	}
+	return total, true
+}
+
+// countFeatureDiffs counts differing non-IP schema features between two
+// fingerprints, and separately the differing members of the
+// rarely-changing set. Hot paths precompute featureKeys and call
+// countKeyDiffs directly.
+func countFeatureDiffs(a, b *fingerprint.Fingerprint) (total, rare int) {
+	return countKeyDiffs(featureKeys(a), featureKeys(b))
+}
+
+// rankBefore is the total order of candidate rankings: score
+// descending, then ID ascending. IDs are unique, so the order is
+// strict — serial, parallel and blocked runs all rank identically.
+func rankBefore(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
 // sortCandidates orders best-first with a deterministic tiebreak.
 func sortCandidates(cands []Candidate) {
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Score != cands[j].Score {
-			return cands[i].Score > cands[j].Score
-		}
-		return cands[i].ID < cands[j].ID
+		return rankBefore(cands[i], cands[j])
 	})
 }

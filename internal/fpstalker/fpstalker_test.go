@@ -202,6 +202,9 @@ func TestEvaluateRuleBasedOnSimulatedWorld(t *testing.T) {
 	if res.F1() > 0.995 {
 		t.Errorf("rule-based F1 %.3f suspiciously perfect; the paper documents FPs/FNs", res.F1())
 	}
+	if res.MeanMatchTime <= 0 {
+		t.Errorf("MeanMatchTime = %v; the rounded mean must stay non-zero", res.MeanMatchTime)
+	}
 }
 
 func TestEvaluateLearningBasedOnSimulatedWorld(t *testing.T) {
@@ -221,10 +224,17 @@ func TestEvaluateLearningBasedOnSimulatedWorld(t *testing.T) {
 
 func TestMatchingTimeGrowsWithDB(t *testing.T) {
 	// Figure 9's core claim: matching time grows roughly linearly in
-	// the database size for non-exact queries.
+	// the database size for non-exact queries. The claim is about the
+	// paper's linear scan, so pin the ablation configuration — the
+	// blocked/parallel engine exists precisely to break this growth
+	// (BenchmarkTopKBlocked / BenchmarkTopKParallel measure that).
 	records, instances := trainWorld(t, 1500, 31)
 	small := NewRuleLinker()
+	small.NoBlocking = true
+	small.Workers = 1
 	big := NewRuleLinker()
+	big.NoBlocking = true
+	big.Workers = 1
 	n := 0
 	for i, rec := range records {
 		if n < 500 {
@@ -257,10 +267,17 @@ func TestMatchingTimeGrowsWithDB(t *testing.T) {
 
 func TestExactIndexAblation(t *testing.T) {
 	// Advice 6: caching (the exact-match index) speeds up matching.
+	// Measured against the paper's linear-scan configuration — with the
+	// blocking index on, exact queries already only face their own
+	// bucket and the margin disappears into noise.
 	records, instances := trainWorld(t, 800, 41)
 	indexed := NewRuleLinker()
+	indexed.NoBlocking = true
+	indexed.Workers = 1
 	scan := NewRuleLinker()
 	scan.NoExactIndex = true
+	scan.NoBlocking = true
+	scan.Workers = 1
 	for i, rec := range records {
 		indexed.Add(InstanceID(instances[i]), rec)
 		scan.Add(InstanceID(instances[i]), rec)

@@ -4,45 +4,50 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"fpdyn/internal/fingerprint"
 	"fpdyn/internal/mlearn"
-	"fpdyn/internal/useragent"
 )
 
 // LearnLinker is the learning-based FP-Stalker variant: a random
 // forest scores (known fingerprint, query fingerprint) pairs on a
 // similarity feature vector; candidates above Threshold are ranked by
-// probability. Candidate generation still prefilters on browser
-// family (as the original does), but each surviving pair costs a
-// feature-vector build plus a forest evaluation — the source of the
-// scalability wall the paper reports.
+// probability. Candidate generation prefilters on browser family (as
+// the original does) — served from the engine's blocking index — and
+// each surviving pair costs a feature-vector build plus a forest
+// evaluation, so the candidate set is scored on a worker pool. The
+// stored side of every pair vector reuses the UA parsed at Add time
+// instead of re-parsing O(N) times per query. Add/TopK are safe for
+// concurrent callers; set NoBlocking and Workers=1 for the paper's
+// Figure 9 scalability-wall measurement.
 type LearnLinker struct {
 	Forest *mlearn.Forest
 	// Threshold is the minimum link probability (default 0.5).
 	Threshold float64
+	// NoBlocking disables the candidate-blocking index so every query
+	// scans the whole table (ablation).
+	NoBlocking bool
+	// Workers caps the scoring pool: 0 means GOMAXPROCS, 1 is serial.
+	Workers int
 
-	entries []*entry
-	byID    map[string]int
+	eng *engine
 }
 
 // NewLearnLinker wraps a trained pair model.
 func NewLearnLinker(f *mlearn.Forest) *LearnLinker {
-	return &LearnLinker{Forest: f, Threshold: 0.5, byID: make(map[string]int)}
+	return &LearnLinker{Forest: f, Threshold: 0.5, eng: newEngine()}
 }
 
 // Len implements Linker.
-func (l *LearnLinker) Len() int { return len(l.entries) }
+func (l *LearnLinker) Len() int { return l.eng.size() }
 
 // Add implements Linker.
 func (l *LearnLinker) Add(id string, rec *fingerprint.Record) {
-	e := newEntry(id, rec)
-	if i, ok := l.byID[id]; ok {
-		l.entries[i] = e
-		return
-	}
-	l.entries = append(l.entries, e)
-	l.byID[id] = len(l.entries) - 1
+	e := newPairEntry(id, rec)
+	l.eng.mu.Lock()
+	l.eng.add(id, e)
+	l.eng.mu.Unlock()
 }
 
 // TopK implements Linker.
@@ -50,25 +55,34 @@ func (l *LearnLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 	if k <= 0 {
 		return nil
 	}
-	qUA, err := useragent.Parse(rec.FP.UserAgent)
-	qOK := err == nil
-	var cands []Candidate
-	for _, e := range l.entries {
-		// Prefilter: browser family must match when both parse.
-		if qOK && e.ok && (qUA.Browser != e.ua.Browser || qUA.Mobile != e.ua.Mobile) {
-			continue
+	// One query-side entry per TopK: the UA parse and the feature keys
+	// are computed once here instead of once per candidate pair.
+	q := newPairEntry("", rec)
+	l.eng.mu.RLock()
+	defer l.eng.mu.RUnlock()
+	cand, all := l.eng.learnCandidates(q.ua, q.ok, l.NoBlocking)
+	return l.eng.scoreTopK(cand, all, l.Workers, k, func(e *entry) (float64, bool) {
+		// Prefilter: browser family must match when both parse. Kept
+		// here (not only in the blocking index) so the NoBlocking scan
+		// returns identical results.
+		if q.ok && e.ok && (q.ua.Browser != e.ua.Browser || q.ua.Mobile != e.ua.Mobile) {
+			return 0, false
 		}
-		p := l.Forest.PredictProba(PairVector(e.rec, rec))
-		if p >= l.Threshold {
-			cands = append(cands, Candidate{ID: e.id, Score: p})
-		}
-	}
-	sortCandidates(cands)
-	if len(cands) > k {
-		cands = cands[:k]
-	}
-	return cands
+		vp := vecPool.Get().(*[]float64)
+		v := appendPairVector((*vp)[:0], e, q)
+		p, ok := l.Forest.PredictProbaAtLeast(v, l.Threshold)
+		*vp = v
+		vecPool.Put(vp)
+		return p, ok
+	})
 }
+
+// vecPool recycles pair-vector scratch buffers across queries and
+// scoring workers.
+var vecPool = sync.Pool{New: func() any {
+	b := make([]float64, 0, NumPairFeatures)
+	return &b
+}}
 
 // NumPairFeatures is the dimensionality of PairVector.
 const NumPairFeatures = 16
@@ -98,8 +112,26 @@ var PairFeatureNames = [NumPairFeatures]string{
 // fingerprint pair — per-feature equality indicators, Jaccard
 // similarities for set features, version movement, and the time gap —
 // the same flavour of features the original FP-Stalker model uses.
+// User agents are parsed through the memoizing CachedParse; callers
+// that already hold parsed UAs and precomputed feature keys (the
+// linker's entries) use pairVectorEntries directly.
 func PairVector(known, query *fingerprint.Record) []float64 {
-	a, b := known.FP, query.FP
+	return pairVectorEntries(newPairEntry("", known), newPairEntry("", query))
+}
+
+// pairVectorEntries is PairVector with both sides already preprocessed
+// — the cached path the matching engine threads its per-entry UAs and
+// feature keys through, so scoring N candidates costs zero re-parses
+// and zero key rebuilds.
+func pairVectorEntries(known, query *entry) []float64 {
+	return appendPairVector(make([]float64, 0, NumPairFeatures), known, query)
+}
+
+// appendPairVector builds the pair feature vector into dst, which the
+// scoring hot path recycles through a pool so a query over an
+// N-candidate bucket performs no per-pair allocation.
+func appendPairVector(dst []float64, known, query *entry) []float64 {
+	a, b := known.rec.FP, query.rec.FP
 	eq := func(cond bool) float64 {
 		if cond {
 			return 1
@@ -107,11 +139,10 @@ func PairVector(known, query *fingerprint.Record) []float64 {
 		return 0
 	}
 	var verAdvance, osAdvance, sameFamily float64
-	ua1, err1 := useragent.Parse(a.UserAgent)
-	ua2, err2 := useragent.Parse(b.UserAgent)
-	if err1 == nil && err2 == nil {
-		sameFamily = eq(ua1.Browser == ua2.Browser)
-		switch ua2.BrowserVersion.Compare(ua1.BrowserVersion) {
+	if known.ok && query.ok {
+		kUA, qUA := known.ua, query.ua
+		sameFamily = eq(kUA.Browser == qUA.Browser)
+		switch qUA.BrowserVersion.Compare(kUA.BrowserVersion) {
 		case 0:
 			verAdvance = 1 // same version
 		case 1:
@@ -119,7 +150,7 @@ func PairVector(known, query *fingerprint.Record) []float64 {
 		default:
 			verAdvance = 0 // downgrade
 		}
-		switch ua2.OSVersion.Compare(ua1.OSVersion) {
+		switch qUA.OSVersion.Compare(kUA.OSVersion) {
 		case 0:
 			osAdvance = 1
 		case 1:
@@ -129,51 +160,136 @@ func PairVector(known, query *fingerprint.Record) []float64 {
 		}
 	}
 	gapDays := 0.0
-	if !known.Time.IsZero() && !query.Time.IsZero() {
-		gapDays = math.Abs(query.Time.Sub(known.Time).Hours()) / 24
+	if !known.rec.Time.IsZero() && !query.rec.Time.IsZero() {
+		gapDays = math.Abs(query.rec.Time.Sub(known.rec.Time).Hours()) / 24
 	}
-	total, rare := countFeatureDiffs(a, b)
-	return []float64{
+	total, rare := countKeyDiffs(known.keys, query.keys)
+	return append(dst,
 		sameFamily,
 		verAdvance,
 		osAdvance,
 		eq(a.CanvasHash == b.CanvasHash),
 		eq(a.GPUImageHash == b.GPUImageHash),
-		jaccard(a.Fonts, b.Fonts),
-		jaccard(a.Plugins, b.Plugins),
-		jaccard(a.Languages, b.Languages),
+		jaccardSorted(known.fonts, query.fonts),
+		jaccardSorted(known.plugins, query.plugins),
+		jaccardSorted(known.langs, query.langs),
 		eq(a.ScreenResolution == b.ScreenResolution),
 		eq(a.TimezoneOffset == b.TimezoneOffset),
 		eq(a.CookieEnabled == b.CookieEnabled && a.LocalStorage == b.LocalStorage),
 		eq(a.GPURenderer == b.GPURenderer),
 		eq(a.AudioInfo == b.AudioInfo),
-		float64(total) / float64(fingerprint.NumFeatures),
-		float64(rare) / 4,
+		float64(total)/float64(fingerprint.NumFeatures),
+		float64(rare)/4,
 		math.Min(gapDays/120, 1),
-	}
+	)
 }
 
+// jaccardSorted is the Jaccard similarity of two sorted unique hash
+// sets (see sortedHashSet): a single merge walk, no allocation. It
+// agrees with jaccard over the original string lists up to 64-bit
+// element-hash collisions.
+func jaccardSorted(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// jaccard is the set Jaccard similarity of two string lists. Both
+// sides are deduplicated, so the result is a true Jaccard in [0, 1]
+// regardless of upstream hygiene — duplicated entries in either list
+// neither inflate the intersection nor the union.
 func jaccard(a, b []string) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	set := make(map[string]bool, len(a))
+	setA := make(map[string]bool, len(a))
 	for _, s := range a {
-		set[s] = true
+		setA[s] = true
 	}
+	setB := make(map[string]bool, len(b))
 	inter := 0
 	for _, s := range b {
-		if set[s] {
+		if setB[s] {
+			continue
+		}
+		setB[s] = true
+		if setA[s] {
 			inter++
 		}
 	}
-	union := len(set) + len(b) - inter
-	// Note: len(b) may double-count duplicates; feature lists are
-	// deduplicated upstream so this is exact in practice.
+	union := len(setA) + len(setB) - inter
 	if union == 0 {
 		return 1
 	}
 	return float64(inter) / float64(union)
+}
+
+// trainPair is one labelled training example with its provenance kept
+// so the sampler can be audited.
+type trainPair struct {
+	x         []float64
+	label     int
+	knownInst int // instance of the stored-side record
+	queryInst int // instance of the query-side record
+}
+
+// negativeDrawTries bounds the resampling when a negative draw hits the
+// query's own instance: with a 4096-record pool the odds of 16 straight
+// same-instance draws are negligible unless the pool genuinely contains
+// nothing else, in which case the negative is skipped.
+const negativeDrawTries = 16
+
+// pairTrainingSet builds the labelled pair set TrainPairModel fits:
+// consecutive fingerprints of one instance are positives; records of
+// *other* instances sampled from a sliding pool are negatives. Draws
+// that land on the query's own instance are rejected and retried a
+// bounded number of times — a same-instance pair labelled 0 would
+// teach the forest to unlink true matches.
+func pairTrainingSet(records []*fingerprint.Record, instances []int, rng *rand.Rand) []trainPair {
+	type poolRec struct {
+		rec  *fingerprint.Record
+		inst int
+	}
+	last := make(map[int]*fingerprint.Record)
+	var pairs []trainPair
+	var pool []poolRec // recent records for negative sampling
+	for i, rec := range records {
+		inst := instances[i]
+		if prev, ok := last[inst]; ok {
+			pairs = append(pairs, trainPair{PairVector(prev, rec), 1, inst, inst})
+			// Two negatives per positive keeps classes balanced enough.
+			for n := 0; n < 2 && len(pool) > 1; n++ {
+				for tries := 0; tries < negativeDrawTries; tries++ {
+					cand := pool[rng.Intn(len(pool))]
+					if cand.inst == inst {
+						continue
+					}
+					pairs = append(pairs, trainPair{PairVector(cand.rec, rec), 0, cand.inst, inst})
+					break
+				}
+			}
+		}
+		last[inst] = rec
+		pool = append(pool, poolRec{rec, inst})
+		if len(pool) > 4096 {
+			pool = pool[len(pool)-4096:]
+		}
+	}
+	return pairs
 }
 
 // TrainPairModel builds a training set from a labelled record stream
@@ -186,33 +302,14 @@ func TrainPairModel(records []*fingerprint.Record, instances []int, cfg mlearn.F
 		return nil, fmt.Errorf("fpstalker: %d records but %d instance labels", len(records), len(instances))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 99))
-	last := make(map[int]*fingerprint.Record)
-	var X [][]float64
-	var y []int
-	var pool []*fingerprint.Record // recent records for negative sampling
-	for i, rec := range records {
-		inst := instances[i]
-		if prev, ok := last[inst]; ok {
-			X = append(X, PairVector(prev, rec))
-			y = append(y, 1)
-			// Two negatives per positive keeps classes balanced enough.
-			for n := 0; n < 2 && len(pool) > 1; n++ {
-				neg := pool[rng.Intn(len(pool))]
-				if neg == prev {
-					continue
-				}
-				X = append(X, PairVector(neg, rec))
-				y = append(y, 0)
-			}
-		}
-		last[inst] = rec
-		pool = append(pool, rec)
-		if len(pool) > 4096 {
-			pool = pool[len(pool)-4096:]
-		}
-	}
-	if len(X) == 0 {
+	pairs := pairTrainingSet(records, instances, rng)
+	if len(pairs) == 0 {
 		return nil, fmt.Errorf("fpstalker: no training pairs (need repeat visits)")
+	}
+	X := make([][]float64, len(pairs))
+	y := make([]int, len(pairs))
+	for i, p := range pairs {
+		X[i], y[i] = p.x, p.label
 	}
 	return mlearn.TrainForest(X, y, cfg)
 }

@@ -2,7 +2,6 @@ package fpstalker
 
 import (
 	"fpdyn/internal/fingerprint"
-	"fpdyn/internal/useragent"
 )
 
 // RuleLinker is the rule-based FP-Stalker variant: a cascade of
@@ -25,62 +24,50 @@ import (
 //
 // Hardware features like CPU cores are deliberately NOT constrained —
 // reproducing the Figure 11(c) false positive the paper reports.
+//
+// Candidate generation runs through the engine's blocking index (rule 2
+// is exactly the bucket key) and the surviving set is scored on a
+// worker pool; see engine.go. Both are ablatable, and Add/TopK are safe
+// for concurrent callers.
 type RuleLinker struct {
 	// MaxDiffs is the overall differing-feature budget (default 5).
 	MaxDiffs int
 	// NoExactIndex disables the exact-match hash index, forcing the
 	// full linear scan even for identical fingerprints (ablation).
 	NoExactIndex bool
+	// NoBlocking disables the candidate-blocking index so every query
+	// scans the whole table — the paper's Figure 9 configuration.
+	NoBlocking bool
+	// Workers caps the scoring pool: 0 means GOMAXPROCS, 1 is serial.
+	Workers int
 
-	entries []*entry
-	byID    map[string]int   // instance id → index in entries
-	byHash  map[uint64][]int // fingerprint hash → entry indexes
+	eng    *engine
+	byHash map[uint64][]int // fingerprint hash → entry indexes
 }
 
 // NewRuleLinker returns an empty rule-based linker.
 func NewRuleLinker() *RuleLinker {
 	return &RuleLinker{
 		MaxDiffs: 5,
-		byID:     make(map[string]int),
+		eng:      newEngine(),
 		byHash:   make(map[uint64][]int),
 	}
 }
 
 // Len implements Linker.
-func (l *RuleLinker) Len() int { return len(l.entries) }
+func (l *RuleLinker) Len() int { return l.eng.size() }
 
 // Add implements Linker: rec becomes the last known fingerprint of id.
 func (l *RuleLinker) Add(id string, rec *fingerprint.Record) {
 	e := newEntry(id, rec)
-	if i, ok := l.byID[id]; ok {
-		oldHash := l.entries[i].rec.FP.Hash(false)
-		l.entries[i] = e
-		l.removeHash(oldHash, i)
-		l.addHash(rec.FP.Hash(false), i)
-		return
+	l.eng.mu.Lock()
+	defer l.eng.mu.Unlock()
+	i, old := l.eng.add(id, e)
+	if old != nil {
+		removeFromBucket(l.byHash, old.rec.FP.Hash(false), i)
 	}
-	l.entries = append(l.entries, e)
-	i := len(l.entries) - 1
-	l.byID[id] = i
-	l.addHash(rec.FP.Hash(false), i)
-}
-
-func (l *RuleLinker) addHash(h uint64, i int) {
+	h := rec.FP.Hash(false)
 	l.byHash[h] = append(l.byHash[h], i)
-}
-
-func (l *RuleLinker) removeHash(h uint64, i int) {
-	s := l.byHash[h]
-	for k, v := range s {
-		if v == i {
-			s[k] = s[len(s)-1]
-			l.byHash[h] = s[:len(s)-1]
-			break
-		}
-	}
-	if len(l.byHash[h]) == 0 {
-		delete(l.byHash, h)
-	}
 }
 
 // TopK implements Linker.
@@ -88,56 +75,56 @@ func (l *RuleLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 	if k <= 0 {
 		return nil
 	}
+	l.eng.mu.RLock()
+	defer l.eng.mu.RUnlock()
 	// Rule 1: exact match via the index.
 	if !l.NoExactIndex {
 		h := rec.FP.Hash(false)
 		if idxs := l.byHash[h]; len(idxs) > 0 {
 			cands := make([]Candidate, 0, len(idxs))
 			for _, i := range idxs {
-				if l.entries[i].rec.FP.Equal(rec.FP) {
-					cands = append(cands, Candidate{ID: l.entries[i].id, Score: 1e9})
+				if l.eng.entries[i].rec.FP.Equal(rec.FP) {
+					cands = append(cands, Candidate{ID: l.eng.entries[i].id, Score: 1e9})
 				}
 			}
 			if len(cands) > 0 {
-				sortCandidates(cands)
-				if len(cands) > k {
-					cands = cands[:k]
-				}
-				return cands
+				return topK(cands, k)
 			}
 		}
 	}
 
-	qUA, qErr := useragent.Parse(rec.FP.UserAgent)
-	var cands []Candidate
-	for _, e := range l.entries {
-		score, ok := l.score(rec, qUA, qErr == nil, e)
-		if !ok {
-			continue
-		}
-		cands = append(cands, Candidate{ID: e.id, Score: score})
+	// One query-side entry per TopK: the UA parse and the ~30 feature
+	// keys are computed once here instead of once per candidate.
+	q := newEntry("", rec)
+	cand, all := l.eng.ruleCandidates(q, l.NoBlocking)
+	score := func(e *entry) (float64, bool) { return l.score(q, e) }
+	if !all && q.ok {
+		// Every entry in the query's bucket shares its browser family,
+		// OS family, form factor and storage toggles by construction —
+		// rules 2 and 4 are already satisfied, so the blocked path only
+		// evaluates the remaining filters. score would accept exactly
+		// the same set.
+		score = func(e *entry) (float64, bool) { return l.scoreBlocked(q, e) }
 	}
-	sortCandidates(cands)
-	if len(cands) > k {
-		cands = cands[:k]
-	}
-	return cands
+	return l.eng.scoreTopK(cand, all, l.Workers, k, score)
 }
 
-// score applies rules 2–5 and returns the similarity score.
-func (l *RuleLinker) score(rec *fingerprint.Record, qUA useragent.UA, qOK bool, e *entry) (float64, bool) {
-	fp, cand := rec.FP, e.rec.FP
+// score applies rules 2–5 and returns the similarity score. It is the
+// complete filter: blocking only skips entries score would reject, so
+// blocked and full scans rank identically.
+func (l *RuleLinker) score(q, e *entry) (float64, bool) {
+	fp, cand := q.rec.FP, e.rec.FP
 
 	// Rule 2: same browser family / OS family / platform.
-	if qOK && e.ok {
-		if qUA.Browser != e.ua.Browser || qUA.OS != e.ua.OS || qUA.Mobile != e.ua.Mobile {
+	if q.ok && e.ok {
+		if q.ua.Browser != e.ua.Browser || q.ua.OS != e.ua.OS || q.ua.Mobile != e.ua.Mobile {
 			return 0, false
 		}
 		// Rule 3: version must not decrease.
-		if qUA.BrowserVersion.Compare(e.ua.BrowserVersion) < 0 {
+		if q.ua.BrowserVersion.Compare(e.ua.BrowserVersion) < 0 {
 			return 0, false
 		}
-		if qUA.OSVersion.Compare(e.ua.OSVersion) < 0 {
+		if q.ua.OSVersion.Compare(e.ua.OSVersion) < 0 {
 			return 0, false
 		}
 	} else if fp.UserAgent != cand.UserAgent {
@@ -150,23 +137,36 @@ func (l *RuleLinker) score(rec *fingerprint.Record, qUA useragent.UA, qOK bool, 
 		return 0, false
 	}
 
-	// Rule 5: difference budgets.
-	total, rare := countFeatureDiffs(fp, cand)
-	if rare > 2 || total > l.MaxDiffs {
+	return l.scoreTail(q, e)
+}
+
+// scoreBlocked is score for candidates served from the query's
+// blocking bucket: rules 2 and 4 are the bucket key, so only the
+// version ordering (rule 3) and the difference budgets (rule 5) remain
+// to check.
+func (l *RuleLinker) scoreBlocked(q, e *entry) (float64, bool) {
+	if q.ua.BrowserVersion.Compare(e.ua.BrowserVersion) < 0 {
+		return 0, false
+	}
+	if q.ua.OSVersion.Compare(e.ua.OSVersion) < 0 {
+		return 0, false
+	}
+	return l.scoreTail(q, e)
+}
+
+// scoreTail applies rule 5 and ranks the surviving candidate.
+func (l *RuleLinker) scoreTail(q, e *entry) (float64, bool) {
+	// Rule 5: difference budgets, over the precomputed keys.
+	total, ok := countKeyDiffsBudget(q.keys, e.keys, l.MaxDiffs, 2)
+	if !ok {
 		return 0, false
 	}
 
 	// Rank by number of identical features; nudge with recency so ties
 	// break toward fresher entries.
-	nonIP := 0
-	for _, d := range fingerprint.Schema {
-		if !d.IsIP {
-			nonIP++
-		}
-	}
-	score := float64(nonIP - total)
-	if !e.rec.Time.IsZero() && !rec.Time.IsZero() && rec.Time.After(e.rec.Time) {
-		age := rec.Time.Sub(e.rec.Time).Hours()
+	score := float64(numNonIP - total)
+	if q.hasTime && e.hasTime && q.hrs > e.hrs {
+		age := q.hrs - e.hrs
 		score += 1.0 / (1.0 + age/24.0) // ≤ 1 point for recency
 	}
 	return score, true

@@ -18,7 +18,6 @@ import (
 	"crypto/sha1"
 	"encoding/binary"
 	"encoding/hex"
-	"sort"
 )
 
 // FNV-1a constants (64-bit).
@@ -79,14 +78,30 @@ func HashStrings(ss ...string) uint64 {
 // HashSet hashes a set of strings order-independently: the same set in any
 // order hashes identically. Used for font lists and plugin lists, whose
 // collection order is not semantically meaningful.
+//
+// Each element's FNV hash is passed through a bijective finalizer and the
+// results are summed, which commutes — no copy or sort of the input, so
+// hashing a several-hundred-entry font list is allocation-free. (The old
+// copy+sort implementation was the top allocation site of the FP-Stalker
+// matching engine's query path.)
 func HashSet(ss []string) uint64 {
-	if len(ss) == 0 {
-		return fnvOffset64
+	h := uint64(fnvOffset64)
+	for _, s := range ss {
+		h += mix64(Hash64(s))
 	}
-	sorted := make([]string, len(ss))
-	copy(sorted, ss)
-	sort.Strings(sorted)
-	return HashStrings(sorted...)
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix so that
+// summing element hashes in HashSet does not let structured inputs
+// cancel each other out.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // SHA1Hex returns the hex SHA-1 of s. The paper reports canvas hashes as

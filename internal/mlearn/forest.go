@@ -224,6 +224,33 @@ func (f *Forest) PredictProba(x []float64) float64 {
 	return sum / float64(len(f.trees))
 }
 
+// PredictProbaAtLeast evaluates trees until the forest-averaged
+// probability of class 1 either is fully determined or provably cannot
+// reach threshold. When the probability clears the threshold it is
+// returned exactly (every tree evaluated, identical to PredictProba);
+// otherwise ok=false after however many trees settled it — each tree
+// emits a probability in [0, 1], so once the partial sum plus the
+// remaining tree count falls below threshold·len(trees) no suffix of
+// evaluations can recover. Candidate-filtering hot paths that discard
+// below-threshold pairs use this to skip most of the ensemble on clear
+// rejects.
+func (f *Forest) PredictProbaAtLeast(x []float64, threshold float64) (p float64, ok bool) {
+	if len(x) != f.numFeatures {
+		return math.NaN(), false
+	}
+	n := len(f.trees)
+	need := threshold * float64(n)
+	sum := 0.0
+	for i, tr := range f.trees {
+		sum += tr.predict(x)
+		if sum+float64(n-1-i) < need {
+			return 0, false
+		}
+	}
+	p = sum / float64(n)
+	return p, p >= threshold
+}
+
 // Predict returns the hard class under a 0.5 threshold.
 func (f *Forest) Predict(x []float64) int {
 	if f.PredictProba(x) >= 0.5 {

@@ -248,3 +248,31 @@ func TestImportancesDegenerate(t *testing.T) {
 		}
 	}
 }
+
+func TestPredictProbaAtLeastAgrees(t *testing.T) {
+	// The early-exit path must be a pure optimization: above the
+	// threshold it returns exactly PredictProba, below it only the
+	// accept/reject verdict may be short-circuited.
+	X, y := linearlySeparable(400, 7)
+	f, err := TrainForest(X, y, ForestConfig{Seed: 7, NumTrees: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for _, threshold := range []float64{0, 0.3, 0.5, 0.9} {
+		for i := 0; i < 500; i++ {
+			x := []float64{rng.Float64() * 1.5, rng.Float64() * 1.5}
+			want := f.PredictProba(x)
+			p, ok := f.PredictProbaAtLeast(x, threshold)
+			if ok != (want >= threshold) {
+				t.Fatalf("threshold %v, x %v: ok=%v but PredictProba=%v", threshold, x, ok, want)
+			}
+			if ok && p != want {
+				t.Fatalf("threshold %v, x %v: p=%v, want exact %v", threshold, x, p, want)
+			}
+		}
+	}
+	if _, ok := f.PredictProbaAtLeast([]float64{1}, 0.5); ok {
+		t.Fatal("dimension mismatch must not report ok")
+	}
+}

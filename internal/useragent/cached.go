@@ -1,0 +1,42 @@
+package useragent
+
+import "sync"
+
+// maxParseCache bounds the memo below. The UA strings of a real
+// deployment have low cardinality relative to traffic (the study's 7.2M
+// fingerprints carry ~115K distinct user agents), so a memo converges
+// quickly — but a hostile or misconfigured client could spray unique
+// strings, so the cache resets instead of growing without bound.
+const maxParseCache = 1 << 16
+
+type parseResult struct {
+	ua  UA
+	err error
+}
+
+var parseCache struct {
+	mu sync.RWMutex
+	m  map[string]parseResult
+}
+
+// CachedParse is Parse behind a process-wide concurrent memo. The
+// matching engine calls it on every query and every stored fingerprint,
+// and the pair-model trainer calls it once per training pair; memoizing
+// turns the regex cascade into a map lookup for every repeat string.
+// Errors are cached too: an unparseable UA stays unparseable.
+func CachedParse(s string) (UA, error) {
+	parseCache.mu.RLock()
+	r, ok := parseCache.m[s]
+	parseCache.mu.RUnlock()
+	if ok {
+		return r.ua, r.err
+	}
+	ua, err := Parse(s)
+	parseCache.mu.Lock()
+	if parseCache.m == nil || len(parseCache.m) >= maxParseCache {
+		parseCache.m = make(map[string]parseResult, 1024)
+	}
+	parseCache.m[s] = parseResult{ua, err}
+	parseCache.mu.Unlock()
+	return ua, err
+}

@@ -1,0 +1,69 @@
+package useragent
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCachedParseAgreesWithParse: the memo must be invisible — same
+// result and same error disposition as Parse for every input, hot or
+// cold.
+func TestCachedParseAgreesWithParse(t *testing.T) {
+	inputs := []string{
+		UA{Browser: Chrome, BrowserVersion: V(63, 0, 3239, 132), OS: Windows, OSVersion: V(10)}.String(),
+		UA{Browser: Firefox, BrowserVersion: V(58), OS: Linux}.String(),
+		UA{Browser: MobileSafari, BrowserVersion: V(11, 0), OS: IOS, OSVersion: V(11, 2), Device: "iPhone", Mobile: true}.String(),
+		UA{Browser: Samsung, BrowserVersion: V(6, 2), OS: Android, OSVersion: V(7, 0), Device: "SM-J330F", Mobile: true}.String(),
+		"TotallyUnknownAgent/1.0",
+		"",
+	}
+	for _, s := range inputs {
+		want, wantErr := Parse(s)
+		for pass := 0; pass < 2; pass++ { // cold then hot
+			got, gotErr := CachedParse(s)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("CachedParse(%q) pass %d: err=%v, Parse err=%v", s, pass, gotErr, wantErr)
+			}
+			if got != want {
+				t.Fatalf("CachedParse(%q) pass %d = %+v, want %+v", s, pass, got, want)
+			}
+		}
+	}
+}
+
+// TestCachedParseConcurrent exercises the memo from many goroutines;
+// meaningful under -race.
+func TestCachedParseConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				u := UA{Browser: Chrome, BrowserVersion: V(50+i%20, 0), OS: Windows, OSVersion: V(10)}
+				s := u.String()
+				got, err := CachedParse(s)
+				if err != nil || got.Browser != Chrome {
+					t.Errorf("goroutine %d: CachedParse(%q) = %+v, %v", g, s, got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCachedParseBounded: the memo resets instead of growing without
+// bound when sprayed with unique strings.
+func TestCachedParseBounded(t *testing.T) {
+	for i := 0; i < maxParseCache+10; i++ {
+		CachedParse(fmt.Sprintf("SprayAgent/%d.0", i))
+	}
+	parseCache.mu.RLock()
+	n := len(parseCache.m)
+	parseCache.mu.RUnlock()
+	if n > maxParseCache {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, maxParseCache)
+	}
+}
