@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-pipeline
 
 ## check: the full gate — build, vet, and the race-enabled test suite.
+## The worker-pool primitives behind the analytic pipeline get an
+## explicit vet + race pass so CI keeps gating them even if the
+## package list is ever narrowed.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) vet ./internal/parallel/
+	$(GO) test -race ./internal/parallel/
 	$(GO) test -race ./...
 
 build:
@@ -21,6 +26,15 @@ race:
 	$(GO) test -race ./...
 
 ## bench: the Figure 9 matching-time benchmarks plus the engine
-## ablations (blocking on/off, serial vs parallel scoring).
+## ablations (blocking on/off, serial vs parallel scoring), followed by
+## the analytic-pipeline stage benchmarks and the BENCH_pipeline.json
+## throughput snapshot (per-stage records/sec at 1 worker and NumCPU).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkFigure9MatchTime|BenchmarkTopKBlocked|BenchmarkTopKParallel' -benchtime 2000x .
+	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 3x .
+	BENCH_PIPELINE_OUT=BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v .
+
+## bench-pipeline: only the pipeline snapshot (BENCH_PIPELINE_USERS
+## overrides the default 3000-user world).
+bench-pipeline:
+	BENCH_PIPELINE_OUT=BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v .

@@ -1,0 +1,185 @@
+package fpdyn
+
+// The pipeline benchmark harness for the parallel analytic pipeline:
+// per-stage benchmarks (simulate → ground truth → dynamics →
+// classify) at 1 worker and at NumCPU, plus an emitter that writes the
+// measured per-stage throughput to BENCH_pipeline.json so the perf
+// trajectory is tracked across PRs.
+//
+//	go test -run xxx -bench BenchmarkPipeline .
+//	BENCH_PIPELINE_OUT=BENCH_pipeline.json go test -run TestEmitPipelineBench .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"fpdyn/internal/browserid"
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/population"
+)
+
+// pipelineWorkerModes are the two points every stage is measured at.
+var pipelineWorkerModes = []struct {
+	name    string
+	workers int
+}{
+	{"workers-1", 1},
+	{"workers-ncpu", -1}, // resolves to runtime.NumCPU()
+}
+
+func BenchmarkPipelineSimulate(b *testing.B) {
+	cfg := population.DefaultConfig(1000)
+	cfg.Seed = 42
+	for _, mode := range pipelineWorkerModes {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg.Workers = mode.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				population.Simulate(cfg)
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineGroundTruth(b *testing.B) {
+	w := world(b)
+	for _, mode := range pipelineWorkerModes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				browserid.BuildParallel(w.ds.Records, mode.workers)
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineDynamics(b *testing.B) {
+	w := world(b)
+	for _, mode := range pipelineWorkerModes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dynamics.GenerateParallel(w.gt, mode.workers)
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineClassify(b *testing.B) {
+	w := world(b)
+	for _, mode := range pipelineWorkerModes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl := &dynamics.Classifier{Images: dynamics.MapImages(w.ds.CanvasImages)}
+				cl.ClassifyAll(w.changed, mode.workers)
+			}
+		})
+	}
+}
+
+// --- BENCH_pipeline.json emitter --------------------------------------
+
+type pipelineStageResult struct {
+	Stage      string  `json:"stage"`
+	Workers    int     `json:"workers"`
+	Records    int     `json:"records"`
+	Seconds    float64 `json:"seconds"`
+	RecsPerSec float64 `json:"records_per_sec"`
+}
+
+type pipelineBenchReport struct {
+	Users    int                   `json:"users"`
+	Seed     int64                 `json:"seed"`
+	NumCPU   int                   `json:"num_cpu"`
+	Stages   []pipelineStageResult `json:"stages"`
+	TotalSec map[string]float64    `json:"pipeline_seconds_by_workers"`
+}
+
+// TestEmitPipelineBench measures each pipeline stage at 1 worker and
+// at NumCPU and writes the per-stage throughput as JSON. Gated behind
+// BENCH_PIPELINE_OUT so the regular test run stays fast; `make bench`
+// sets it.
+func TestEmitPipelineBench(t *testing.T) {
+	out := os.Getenv("BENCH_PIPELINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PIPELINE_OUT=<path> to emit the pipeline benchmark")
+	}
+	users := 3000
+	if s := os.Getenv("BENCH_PIPELINE_USERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad BENCH_PIPELINE_USERS %q: %v", s, err)
+		}
+		users = n
+	}
+
+	rep := pipelineBenchReport{
+		Users:    users,
+		Seed:     42,
+		NumCPU:   runtime.NumCPU(),
+		TotalSec: map[string]float64{},
+	}
+	for _, mode := range []struct {
+		label   string
+		workers int
+	}{{"1", 1}, {"ncpu", -1}} {
+		cfg := population.DefaultConfig(users)
+		cfg.Seed = 42
+		cfg.Workers = mode.workers
+
+		start := time.Now()
+		ds := population.Simulate(cfg)
+		simSec := time.Since(start).Seconds()
+
+		start = time.Now()
+		gt := browserid.BuildParallel(ds.Records, mode.workers)
+		gtSec := time.Since(start).Seconds()
+
+		start = time.Now()
+		dyns := dynamics.GenerateParallel(gt, mode.workers)
+		dynSec := time.Since(start).Seconds()
+
+		changed := dynamics.Changed(dyns)
+		cl := &dynamics.Classifier{Images: dynamics.MapImages(ds.CanvasImages)}
+		start = time.Now()
+		cl.ClassifyAll(changed, mode.workers)
+		clSec := time.Since(start).Seconds()
+
+		n := len(ds.Records)
+		for _, st := range []struct {
+			stage string
+			recs  int
+			sec   float64
+		}{
+			{"simulate", n, simSec},
+			{"ground_truth", n, gtSec},
+			{"dynamics", len(dyns), dynSec},
+			{"classify", len(changed), clSec},
+		} {
+			rps := 0.0
+			if st.sec > 0 {
+				rps = float64(st.recs) / st.sec
+			}
+			rep.Stages = append(rep.Stages, pipelineStageResult{
+				Stage: st.stage, Workers: mode.workers,
+				Records: st.recs, Seconds: st.sec, RecsPerSec: rps,
+			})
+		}
+		rep.TotalSec[mode.label] = simSec + gtSec + dynSec + clSec
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d users, %d CPUs): serial %.2fs, parallel %.2fs",
+		out, users, rep.NumCPU, rep.TotalSec["1"], rep.TotalSec["ncpu"])
+}

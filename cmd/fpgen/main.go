@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func main() {
 	deployment := flag.Bool("deployment", false, "simulate the §2.2.2 hot patches and partial outage")
 	out := flag.String("o", "dataset.jsonl", "output snapshot path")
 	truth := flag.String("truth", "", "optional path for the ground-truth sidecar (instance serials and cause labels)")
+	workers := flag.Int("workers", 0, "simulation worker count: 0 = serial reproduction path, -1 = NumCPU")
 	flag.Parse()
 
 	cfg, ok := population.NamedConfig(*scenario, *users)
@@ -33,6 +35,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.SimulateDeployment = *deployment
+	cfg.Workers = *workers
 	ds := population.Simulate(cfg)
 
 	store := storage.NewStore()
@@ -46,20 +49,33 @@ func main() {
 		len(ds.Records), ds.NumInstances, cfg.Users, *out)
 
 	if *truth != "" {
-		f, err := os.Create(*truth)
-		if err != nil {
-			log.Fatalf("fpgen: %v", err)
-		}
-		for i := range ds.Records {
-			fmt.Fprintf(f, "%d", ds.TrueInstance[i])
-			for _, ev := range ds.Truth[i] {
-				fmt.Fprintf(f, " %s", ev)
-			}
-			fmt.Fprintln(f)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeTruth(*truth, ds); err != nil {
 			log.Fatalf("fpgen: %v", err)
 		}
 		fmt.Printf("wrote ground truth sidecar to %s\n", *truth)
 	}
+}
+
+// writeTruth writes the ground-truth sidecar through a buffered
+// writer. bufio's sticky error means the Flush at the end surfaces any
+// write failure along the way (a full disk no longer yields a silently
+// truncated sidecar).
+func writeTruth(path string, ds *population.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	for i := range ds.Records {
+		fmt.Fprintf(bw, "%d", ds.TrueInstance[i])
+		for _, ev := range ds.Truth[i] {
+			fmt.Fprintf(bw, " %s", ev)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -27,6 +27,7 @@ func main() {
 	scenario := flag.String("scenario", population.ScenarioPaper,
 		"population preset: "+strings.Join(population.Scenarios(), ", "))
 	what := flag.String("what", "all", "comma-separated artifacts: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig12,estimate,insight1,insight3,compression,tradeoff,stemming or all")
+	workers := flag.Int("workers", 0, "worker count for the simulate/ground-truth/diff/classify pipeline: 0 = serial reproduction path, -1 = NumCPU")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -43,10 +44,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	fmt.Printf("simulating %d users (scenario %s, seed %d) over %s → %s ...\n",
 		cfg.Users, *scenario, cfg.Seed, cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
 
-	r := report.New(population.Simulate(cfg), os.Stdout)
+	r := report.NewWorkers(population.Simulate(cfg), os.Stdout, *workers)
 	r.Summary()
 
 	sections := []struct {

@@ -27,9 +27,11 @@ package browserid
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"fpdyn/internal/fingerprint"
 	"fpdyn/internal/hashutil"
+	"fpdyn/internal/parallel"
 )
 
 // StableKey is the tuple of stable features that seeds the initial
@@ -65,7 +67,7 @@ func KeyOf(r *fingerprint.Record) StableKey {
 func InitialID(r *fingerprint.Record) string {
 	k := KeyOf(r)
 	return fmt.Sprintf("bid-%016x", hashutil.HashStrings(
-		k.UserID, k.CPUClass, fmt.Sprintf("%d", k.CPUCores),
+		k.UserID, k.CPUClass, strconv.Itoa(k.CPUCores),
 		k.OS, k.Device, k.Browser, k.GPUVendor, k.GPURenderer,
 	))
 }
@@ -91,13 +93,25 @@ type GroundTruth struct {
 // time order (the collection server stores them that way); Build does
 // not reorder.
 func Build(records []*fingerprint.Record) *GroundTruth {
+	return BuildParallel(records, 1)
+}
+
+// BuildParallel is Build with the per-record stable-key hashing fanned
+// out over a worker pool. The cookie-linking union pass is inherently
+// order-dependent (the first initial ID seen with a (user, cookie)
+// pair becomes the owner), so it stays serial over the precomputed
+// IDs; its cost is a map probe per record, dwarfed by the hashing. The
+// result is identical for every worker count.
+func BuildParallel(records []*fingerprint.Record, workers int) *GroundTruth {
 	gt := &GroundTruth{
 		Instances:     make(map[string][]*fingerprint.Record),
 		UserInstances: make(map[string]map[string]bool),
 		parent:        make(map[string]string),
 	}
 
-	initial := make([]string, len(records))
+	initial := parallel.Map(workers, len(records), func(i int) string {
+		return InitialID(records[i])
+	})
 	// cookieOwner maps (user, cookie) to the first initial ID seen with
 	// that cookie; a second initial ID under the same pair is an
 	// exceptional case and gets linked.
@@ -105,8 +119,7 @@ func Build(records []*fingerprint.Record) *GroundTruth {
 	cookieOwner := make(map[userCookie]string)
 
 	for i, r := range records {
-		id := InitialID(r)
-		initial[i] = id
+		id := initial[i]
 		gt.union(id, id) // ensure present
 		if r.Cookie == "" {
 			continue

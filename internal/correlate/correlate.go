@@ -120,8 +120,8 @@ func UpdateCorrelations(dyns []*dynamics.Dynamics, cl *dynamics.Classifier) []Up
 		if !d.Delta.Has(fingerprint.FeatUserAgent) {
 			continue
 		}
-		from, err1 := useragent.Parse(d.From.FP.UserAgent)
-		to, err2 := useragent.Parse(d.To.FP.UserAgent)
+		from, err1 := useragent.CachedParse(d.From.FP.UserAgent)
+		to, err2 := useragent.CachedParse(d.To.FP.UserAgent)
 		if err1 != nil || err2 != nil || from.Browser != to.Browser || from.OS != to.OS {
 			continue
 		}
@@ -231,8 +231,8 @@ func AdoptionSeries(dyns []*dynamics.Dynamics, family string, targetMajor int,
 		if !d.Delta.Has(fingerprint.FeatUserAgent) {
 			continue
 		}
-		from, err1 := useragent.Parse(d.From.FP.UserAgent)
-		to, err2 := useragent.Parse(d.To.FP.UserAgent)
+		from, err1 := useragent.CachedParse(d.From.FP.UserAgent)
+		to, err2 := useragent.CachedParse(d.To.FP.UserAgent)
 		if err1 != nil || err2 != nil {
 			continue
 		}

@@ -70,6 +70,6 @@ func isWindows7(r *fingerprint.Record) bool {
 	if r.OS != useragent.Windows {
 		return false
 	}
-	ua, err := useragent.Parse(r.FP.UserAgent)
+	ua, err := useragent.CachedParse(r.FP.UserAgent)
 	return err == nil && ua.OS == useragent.Windows && ua.OSVersion.Major == 7
 }

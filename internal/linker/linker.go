@@ -137,7 +137,7 @@ func (h *Hybrid) Len() int { return len(h.entries) }
 // Add implements fpstalker.Linker.
 func (h *Hybrid) Add(id string, rec *fingerprint.Record) {
 	e := &entry{id: id, rec: rec}
-	if ua, err := useragent.Parse(rec.FP.UserAgent); err == nil {
+	if ua, err := useragent.CachedParse(rec.FP.UserAgent); err == nil {
 		e.ua, e.uaOK = ua, true
 	}
 	e.class = classKey(rec, e.ua, e.uaOK)
@@ -205,7 +205,7 @@ func (h *Hybrid) TopK(rec *fingerprint.Record, k int) []fpstalker.Candidate {
 		}
 	}
 
-	qUA, qErr := useragent.Parse(rec.FP.UserAgent)
+	qUA, qErr := useragent.CachedParse(rec.FP.UserAgent)
 	qOK := qErr == nil
 	// Candidate generation: the narrow device bucket for consistent
 	// queries, widened to the whole class only when the query itself

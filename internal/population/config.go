@@ -9,6 +9,15 @@ type Config struct {
 	Seed  int64
 	Users int
 
+	// Workers selects the simulation execution path. 0 (the zero value)
+	// is the legacy serial path — the reproduction baseline whose RNG
+	// stream every calibrated output was validated against. Any other
+	// value runs the sharded path: per-user sub-RNGs simulated on a
+	// worker pool, deterministic in Seed and identical for every worker
+	// count (1 uses a single worker, negative resolves to
+	// runtime.NumCPU()).
+	Workers int
+
 	// Deployment window; defaults to the paper's Stage-3 window,
 	// December 2017 through July 2018.
 	Start, End time.Time

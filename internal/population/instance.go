@@ -425,7 +425,7 @@ func (in *instance) render(now time.Time, vs visitState, ds *Dataset) *fingerpri
 		GPUImageHash: ghash,
 	}
 
-	parsed, err := useragent.Parse(fp.UserAgent)
+	parsed, err := useragent.CachedParse(fp.UserAgent)
 	if err != nil {
 		parsed = presented
 	}

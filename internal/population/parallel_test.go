@@ -1,0 +1,106 @@
+package population
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardedWorkerCountInvariance is the determinism regression test
+// for the sharded path: the Dataset must be identical at Workers: 1
+// and Workers: 8 for several seeds. Records, TrueInstance, VisitIndex
+// and Truth are compared structurally.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := DefaultConfig(120)
+		cfg.Seed = seed
+		cfg.SimulateDeployment = seed == 7 // cover the outage/hot-patch path too
+
+		cfg.Workers = 1
+		serial := Simulate(cfg)
+		cfg.Workers = 8
+		par := Simulate(cfg)
+
+		if len(serial.Records) != len(par.Records) {
+			t.Fatalf("seed %d: %d records at Workers:1, %d at Workers:8",
+				seed, len(serial.Records), len(par.Records))
+		}
+		for i := range serial.Records {
+			if !reflect.DeepEqual(serial.Records[i], par.Records[i]) {
+				t.Fatalf("seed %d: record %d differs:\n  Workers:1 %+v\n  Workers:8 %+v",
+					seed, i, serial.Records[i], par.Records[i])
+			}
+		}
+		if !reflect.DeepEqual(serial.TrueInstance, par.TrueInstance) {
+			t.Fatalf("seed %d: TrueInstance differs", seed)
+		}
+		if !reflect.DeepEqual(serial.VisitIndex, par.VisitIndex) {
+			t.Fatalf("seed %d: VisitIndex differs", seed)
+		}
+		if !reflect.DeepEqual(serial.Truth, par.Truth) {
+			t.Fatalf("seed %d: Truth differs", seed)
+		}
+		if serial.NumInstances != par.NumInstances {
+			t.Fatalf("seed %d: NumInstances %d vs %d", seed, serial.NumInstances, par.NumInstances)
+		}
+		if !reflect.DeepEqual(serial.GPUImageInfo, par.GPUImageInfo) {
+			t.Fatalf("seed %d: GPUImageInfo differs", seed)
+		}
+		if len(serial.CanvasImages) != len(par.CanvasImages) {
+			t.Fatalf("seed %d: CanvasImages size %d vs %d",
+				seed, len(serial.CanvasImages), len(par.CanvasImages))
+		}
+	}
+}
+
+// TestShardedKeepsGlobalTimeOrder checks the merged timeline is sorted
+// the way the serial visit loop emits: by time, ties broken by
+// instance serial.
+func TestShardedKeepsGlobalTimeOrder(t *testing.T) {
+	cfg := DefaultConfig(150)
+	cfg.Workers = 4
+	ds := Simulate(cfg)
+	if len(ds.Records) == 0 {
+		t.Fatal("no records")
+	}
+	for i := 1; i < len(ds.Records); i++ {
+		a, b := ds.Records[i-1], ds.Records[i]
+		if a.Time.After(b.Time) {
+			t.Fatalf("record %d out of time order: %v after %v", i, a.Time, b.Time)
+		}
+		if a.Time.Equal(b.Time) && ds.TrueInstance[i-1] >= ds.TrueInstance[i] {
+			t.Fatalf("record %d: serial tie-break violated (%d then %d at %v)",
+				i, ds.TrueInstance[i-1], ds.TrueInstance[i], a.Time)
+		}
+	}
+}
+
+// TestShardedMatchesSerialShape sanity-checks the sharded world against
+// the legacy serial path at the same seed. The RNG streams differ by
+// design, so outputs are not byte-identical — but the population shape
+// (instance count within tolerance, same record volume order of
+// magnitude, calibrated record fields present) must agree.
+func TestShardedMatchesSerialShape(t *testing.T) {
+	cfg := DefaultConfig(300)
+	legacy := Simulate(cfg) // Workers: 0, legacy path
+	cfg.Workers = 4
+	sharded := Simulate(cfg)
+
+	ratio := float64(sharded.NumInstances) / float64(legacy.NumInstances)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("instance count diverged: legacy %d, sharded %d",
+			legacy.NumInstances, sharded.NumInstances)
+	}
+	rratio := float64(len(sharded.Records)) / float64(len(legacy.Records))
+	if rratio < 0.7 || rratio > 1.3 {
+		t.Fatalf("record count diverged: legacy %d, sharded %d",
+			len(legacy.Records), len(sharded.Records))
+	}
+	for i, r := range sharded.Records {
+		if r.UserID == "" || r.FP == nil || r.FP.UserAgent == "" {
+			t.Fatalf("sharded record %d incomplete: %+v", i, r)
+		}
+		if i == 50 {
+			break
+		}
+	}
+}

@@ -58,7 +58,27 @@ type Dataset struct {
 
 // Simulate generates a dataset under the given configuration. The
 // output is fully deterministic in cfg.Seed.
+//
+// cfg.Workers selects the execution path. Workers == 0 is the legacy
+// serial path: one RNG stream threads through every user in order,
+// which is the reproduction baseline all calibrated outputs were
+// validated against. Workers != 0 is the sharded path (sharded.go):
+// each user gets a sub-RNG derived from the seed and the user hash, so
+// user shards simulate independently on a worker pool and merge into
+// the same global time order — the result is identical for every
+// worker count at a given seed (Workers: 1 and Workers: NumCPU produce
+// the same Dataset), though its RNG draws differ from the Workers == 0
+// stream.
 func Simulate(cfg Config) *Dataset {
+	if cfg.Workers != 0 {
+		return simulateSharded(cfg)
+	}
+	return simulateSerial(cfg)
+}
+
+// simulateSerial is the legacy single-threaded generator: one shared
+// RNG for the creation pass, then the global visit timeline.
+func simulateSerial(cfg Config) *Dataset {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ds := &Dataset{
 		Cfg:          cfg,
@@ -70,57 +90,89 @@ func Simulate(cfg Config) *Dataset {
 	var instances []*instance
 	devSerial := 0
 	for u := 0; u < cfg.Users; u++ {
-		userID := userHash(cfg.Seed, u)
-		nDevices := 1
-		if rng.Float64() < cfg.MultiDeviceShare {
-			nDevices = 2
+		ins, devs := buildUser(rng, cfg, ds.Geo, u, len(instances), devSerial)
+		instances = append(instances, ins...)
+		devSerial += len(devs)
+	}
+	ds.NumInstances = len(instances)
+	simulateVisits(cfg, instances, ds)
+	return ds
+}
+
+// buildUser creates one user's devices and browser instances and
+// schedules their device-level changes. Instance serials are assigned
+// from instBase up, device serials from devBase up; the caller keeps
+// the running totals (serial path) or renumbers afterwards (sharded
+// path). All randomness is drawn from rng, so the serial path's shared
+// stream and the sharded path's per-user sub-streams run the exact
+// same draw sequence per user.
+func buildUser(rng *rand.Rand, cfg Config, geo *geoip.DB, u, instBase, devBase int) ([]*instance, []*device) {
+	userID := userHash(cfg.Seed, u)
+	var instances []*instance
+	var devices []*device
+	nDevices := 1
+	if rng.Float64() < cfg.MultiDeviceShare {
+		nDevices = 2
+	}
+	var firstDev *device
+	var firstFamily string
+	for d := 0; d < nDevices; d++ {
+		var dv *device
+		if d == 1 && firstDev != nil && rng.Float64() < 0.03 {
+			// The paper's §2.3.3 false-positive scenario: two machines
+			// with exactly the same configuration (a computer lab).
+			// Identical stable features merge them into one browser ID,
+			// and their cookies interleave.
+			dv = cloneDevice(firstDev, devBase+len(devices))
+		} else {
+			dv = newDevice(rng, cfg, geo, devBase+len(devices))
 		}
-		var firstDev *device
-		var firstFamily string
-		for d := 0; d < nDevices; d++ {
-			var dv *device
-			if d == 1 && firstDev != nil && rng.Float64() < 0.03 {
-				// The paper's §2.3.3 false-positive scenario: two machines
-				// with exactly the same configuration (a computer lab).
-				// Identical stable features merge them into one browser ID,
-				// and their cookies interleave.
-				dv = cloneDevice(firstDev, devSerial)
-			} else {
-				dv = newDevice(rng, cfg, ds.Geo, devSerial)
+		devices = append(devices, dv)
+		nBrowsers := 1
+		if rng.Float64() < cfg.SecondBrowserShare {
+			nBrowsers = 2
+		}
+		used := map[string]bool{}
+		var devInstances []*instance
+		for b := 0; b < nBrowsers; b++ {
+			family := pickBrowser(rng, dv.platform)
+			if dv.isClone && b == 0 && firstFamily != "" {
+				family = firstFamily // the lab clone runs the same browser
 			}
-			devSerial++
-			nBrowsers := 1
-			if rng.Float64() < cfg.SecondBrowserShare {
-				nBrowsers = 2
+			for used[family] && len(used) < len(dv.platform.browser) {
+				family = pickBrowser(rng, dv.platform)
 			}
-			used := map[string]bool{}
-			var devInstances []*instance
-			for b := 0; b < nBrowsers; b++ {
-				family := pickBrowser(rng, dv.platform)
-				if dv.isClone && b == 0 && firstFamily != "" {
-					family = firstFamily // the lab clone runs the same browser
-				}
-				for used[family] && len(used) < len(dv.platform.browser) {
-					family = pickBrowser(rng, dv.platform)
-				}
-				used[family] = true
-				in := newInstance(rng, cfg, len(instances), userID, dv, family)
-				instances = append(instances, in)
-				devInstances = append(devInstances, in)
-				if family == useragent.Samsung {
-					dv.hasSamsung = true
-				}
+			used[family] = true
+			in := newInstance(rng, cfg, instBase+len(instances), userID, dv, family)
+			instances = append(instances, in)
+			devInstances = append(devInstances, in)
+			if family == useragent.Samsung {
+				dv.hasSamsung = true
 			}
-			scheduleDevice(rng, cfg, dv, devInstances)
-			if d == 0 {
-				firstDev = dv
-				if len(devInstances) > 0 {
-					firstFamily = devInstances[0].family
-				}
+		}
+		scheduleDevice(rng, cfg, dv, devInstances)
+		if d == 0 {
+			firstDev = dv
+			if len(devInstances) > 0 {
+				firstFamily = devInstances[0].family
 			}
 		}
 	}
-	ds.NumInstances = len(instances)
+	return instances, devices
+}
+
+// simulateVisits runs the visit loop over the given instances in
+// global time order, appending records and ground truth to out. The
+// instances' serials must be contiguous starting at
+// instances[0].serial (true for the full population and for a per-user
+// shard alike). Randomness comes from per-instance RNG streams keyed
+// by the instance serial, so visit behaviour is independent of how the
+// population was partitioned into simulateVisits calls.
+func simulateVisits(cfg Config, instances []*instance, out *Dataset) {
+	if len(instances) == 0 {
+		return
+	}
+	base := instances[0].serial
 
 	// Global visit timeline.
 	type visitRef struct {
@@ -145,7 +197,7 @@ func Simulate(cfg Config) *Dataset {
 	// global interleaving.
 	instRNG := make([]*rand.Rand, len(instances))
 	for i := range instances {
-		instRNG[i] = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+		instRNG[i] = rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(base+i)))
 	}
 	prevVisit := make([]time.Time, len(instances))
 	// pending carries the truth labels of visits whose records were
@@ -159,12 +211,13 @@ func Simulate(cfg Config) *Dataset {
 
 	for _, vr := range timeline {
 		in, now := vr.in, vr.t
-		r := instRNG[in.serial]
+		li := in.serial - base
+		r := instRNG[li]
 		in.dev.applyUntil(now)
 
 		var labels []EventType
 		first := vr.k == 0
-		from := prevVisit[in.serial]
+		from := prevVisit[li]
 		if first {
 			from = now
 		}
@@ -177,11 +230,11 @@ func Simulate(cfg Config) *Dataset {
 				labels = append(labels, ch.kind)
 			}
 		}
-		vs, actionLabels := in.visitActions(r, ds)
+		vs, actionLabels := in.visitActions(r, out)
 		labels = append(labels, actionLabels...)
 		cookie := in.updateCookie(r, now, vs.private)
 
-		rec := in.render(now, vs, ds)
+		rec := in.render(now, vs, out)
 		rec.Cookie = cookie
 		if in.userID2 != "" && r.Float64() < 0.4 {
 			rec.UserID = in.userID2
@@ -193,9 +246,9 @@ func Simulate(cfg Config) *Dataset {
 				// record is lost. Per-instance state still advanced, and
 				// the causes carry over to the next recorded visit.
 				if !first {
-					pending[in.serial] = append(pending[in.serial], labels...)
+					pending[li] = append(pending[li], labels...)
 				}
-				prevVisit[in.serial] = now
+				prevVisit[li] = now
 				in.visited++
 				in.lastVisit = now
 				continue
@@ -207,25 +260,24 @@ func Simulate(cfg Config) *Dataset {
 				rec.FP.Accept = "*/*" // the pre-patch collection bug
 			}
 		}
-		if carried := pending[in.serial]; len(carried) > 0 && !first {
+		if carried := pending[li]; len(carried) > 0 && !first {
 			labels = append(carried, labels...)
-			pending[in.serial] = nil
+			pending[li] = nil
 		}
 
-		if !recordedOnce[in.serial] {
+		if !recordedOnce[li] {
 			labels = nil
-			recordedOnce[in.serial] = true
+			recordedOnce[li] = true
 		}
-		ds.Records = append(ds.Records, rec)
-		ds.TrueInstance = append(ds.TrueInstance, in.serial)
-		ds.VisitIndex = append(ds.VisitIndex, vr.k)
-		ds.Truth = append(ds.Truth, dedupLabels(labels))
+		out.Records = append(out.Records, rec)
+		out.TrueInstance = append(out.TrueInstance, in.serial)
+		out.VisitIndex = append(out.VisitIndex, vr.k)
+		out.Truth = append(out.Truth, dedupLabels(labels))
 
-		prevVisit[in.serial] = now
+		prevVisit[li] = now
 		in.visited++
 		in.lastVisit = now
 	}
-	return ds
 }
 
 func dedupLabels(labels []EventType) []EventType {

@@ -40,15 +40,33 @@ type Reporter struct {
 // New processes a dataset once (ground truth + dynamics + classifier)
 // and returns a Reporter writing to w.
 func New(ds *population.Dataset, w io.Writer) *Reporter {
-	gt := browserid.Build(ds.Records)
-	dyns := dynamics.Generate(gt)
+	return NewWorkers(ds, w, 0)
+}
+
+// NewWorkers is New with the processing pipeline fanned out over a
+// worker pool: ground-truth key hashing, per-instance diff chains and
+// the batch classification of every changed dynamics all run on up to
+// `workers` goroutines (0 or 1 = serial, negative = NumCPU). The
+// processed state — and therefore every table and figure — is
+// identical for every worker count; the batch pass also warms the
+// classifier's memo so the report sections reuse classifications
+// instead of re-deriving them.
+func NewWorkers(ds *population.Dataset, w io.Writer, workers int) *Reporter {
+	if workers == 0 {
+		workers = 1
+	}
+	gt := browserid.BuildParallel(ds.Records, workers)
+	dyns := dynamics.GenerateParallel(gt, workers)
+	changed := dynamics.Changed(dyns)
+	cl := &dynamics.Classifier{Images: dynamics.MapImages(ds.CanvasImages)}
+	cl.ClassifyAll(changed, workers)
 	return &Reporter{
 		w:       w,
 		ds:      ds,
 		gt:      gt,
 		dyns:    dyns,
-		changed: dynamics.Changed(dyns),
-		cl:      &dynamics.Classifier{Images: dynamics.MapImages(ds.CanvasImages)},
+		changed: changed,
+		cl:      cl,
 	}
 }
 

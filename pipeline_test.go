@@ -1,0 +1,62 @@
+package fpdyn
+
+// End-to-end golden test for the parallel analytic pipeline: the full
+// report rendered from a Workers:1 world must be byte-identical to the
+// one rendered from a Workers:NumCPU world. Run under -race (make
+// check does) this also exercises every concurrent stage — sharded
+// simulation, parallel ground truth, diff fan-out, batch
+// classification — for data races.
+
+import (
+	"bytes"
+	"testing"
+
+	"fpdyn/internal/population"
+	"fpdyn/internal/report"
+)
+
+func renderAll(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := population.DefaultConfig(250)
+	cfg.Seed = 11
+	cfg.Workers = workers
+	ds := population.Simulate(cfg)
+	var buf bytes.Buffer
+	r := report.NewWorkers(ds, &buf, workers)
+	r.Summary()
+	r.Estimate()
+	r.Fig2()
+	r.Table1()
+	r.Fig3()
+	r.Fig7()
+	r.Table2()
+	r.Table3()
+	r.Insight1()
+	r.Insight3()
+	r.Compression()
+	return buf.Bytes()
+}
+
+func TestPipelineParallelReportByteIdentical(t *testing.T) {
+	serial := renderAll(t, 1)
+	parallel := renderAll(t, -1) // NumCPU
+	if !bytes.Equal(serial, parallel) {
+		i := 0
+		for i < len(serial) && i < len(parallel) && serial[i] == parallel[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		hiS, hiP := i+80, i+80
+		if hiS > len(serial) {
+			hiS = len(serial)
+		}
+		if hiP > len(parallel) {
+			hiP = len(parallel)
+		}
+		t.Fatalf("report output diverges at byte %d:\n  Workers:1      ...%s...\n  Workers:NumCPU ...%s...",
+			i, serial[lo:hiS], parallel[lo:hiP])
+	}
+}
