@@ -1,17 +1,27 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-pipeline
+.PHONY: check build vet test race bench bench-pipeline chaos
 
 ## check: the full gate — build, vet, and the race-enabled test suite.
-## The worker-pool primitives behind the analytic pipeline get an
-## explicit vet + race pass so CI keeps gating them even if the
+## The worker-pool primitives behind the analytic pipeline and the
+## crash-safety stack (WAL storage, collector drain, fault injection)
+## get an explicit vet + race pass so CI keeps gating them even if the
 ## package list is ever narrowed.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) vet ./internal/parallel/
+	$(GO) vet ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) test -race ./internal/parallel/
+	$(GO) test -race ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) test -race ./...
+
+## chaos: the crash-recovery suite, repeated to shake out schedule- and
+## timing-dependent bugs: kill/restart mid-stream, torn WAL tails,
+## fsync faults, drain semantics, and seq-based idempotency — all under
+## the race detector.
+chaos:
+	$(GO) test -race -count=3 -run 'TestChaos|TestRecover|TestShutdown|TestSeqIdempotent|TestWAL' ./internal/collector/ ./internal/storage/
 
 build:
 	$(GO) build ./...

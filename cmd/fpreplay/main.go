@@ -57,18 +57,18 @@ func main() {
 			delivered++
 		}
 		if (i+1)%*report == 0 {
-			sent, dropped := client.Stats()
-			fmt.Printf("  %d/%d replayed (sent %d, pending %d, dropped %d)\n",
-				i+1, len(records), sent, client.Pending(), dropped)
+			st := client.Stats()
+			fmt.Printf("  %d/%d replayed (sent %d, pending %d, dropped %d, retransmits %d)\n",
+				i+1, len(records), st.Sent, client.Pending(), st.Dropped, st.Retransmits)
 		}
 	}
 	// Final drain attempt.
 	if err := client.Flush(); err != nil {
 		log.Printf("fpreplay: flush: %v", err)
 	}
-	sent, dropped := client.Stats()
-	fmt.Printf("done in %v: %d sent, %d still pending, %d dropped\n",
-		time.Since(start).Round(time.Millisecond), sent, client.Pending(), dropped)
+	st := client.Stats()
+	fmt.Printf("done in %v: %d sent, %d still pending, %d dropped, %d retransmits\n",
+		time.Since(start).Round(time.Millisecond), st.Sent, client.Pending(), st.Dropped, st.Retransmits)
 	_ = delivered
 	_ = buffered
 }

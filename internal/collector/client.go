@@ -262,6 +262,15 @@ func (c *Client) Ping() error {
 // values, then the record with only the missing blobs attached. It
 // returns the server-side record index.
 func (c *Client) Submit(rec *fingerprint.Record) (int, error) {
+	idx, _, err := c.SubmitSeq(rec, "", 0)
+	return idx, err
+}
+
+// SubmitSeq is Submit with a client-assigned sequence ID: resubmitting
+// the same (clientID, seq) after an ambiguous failure is safe — the
+// server appends at most once and dup reports whether this delivery
+// was the duplicate. Seq must be monotonic per clientID.
+func (c *Client) SubmitSeq(rec *fingerprint.Record, clientID string, seq uint64) (idx int, dup bool, err error) {
 	wire, refs, blobs := StripRecord(rec)
 	hashes := make([]string, 0, len(blobs))
 	for h := range blobs {
@@ -269,7 +278,7 @@ func (c *Client) Submit(rec *fingerprint.Record) (int, error) {
 	}
 	resp, err := c.roundTrip(&Request{Type: TypeCheck, Hashes: hashes})
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	need := make(map[string][]byte, len(resp.Hashes))
 	for _, h := range resp.Hashes {
@@ -277,15 +286,15 @@ func (c *Client) Submit(rec *fingerprint.Record) (int, error) {
 			need[h] = blob
 		}
 	}
-	resp, err = c.roundTrip(&Request{Type: TypeSubmit, Record: wire, Refs: refs, Values: need})
+	resp, err = c.roundTrip(&Request{Type: TypeSubmit, Record: wire, Refs: refs, Values: need, ClientID: clientID, Seq: seq})
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if resp.Type != TypeOK {
-		return 0, fmt.Errorf("collector: unexpected submit reply %q", resp.Type)
+		return 0, false, fmt.Errorf("collector: unexpected submit reply %q", resp.Type)
 	}
 	c.submitted.Add(1)
-	return resp.Index, nil
+	return resp.Index, resp.Dup, nil
 }
 
 // SubmitRaw transfers one record without dedup (the ablation baseline:

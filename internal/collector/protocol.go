@@ -39,6 +39,12 @@ type Request struct {
 	Refs map[string]string `json:"refs,omitempty"`
 	// Values carries the content for hashes the server reported missing.
 	Values map[string][]byte `json:"values,omitempty"`
+	// ClientID/Seq form the client-assigned sequence ID of a submit.
+	// Seq is monotonic per ClientID; a reconnecting client resubmits an
+	// un-ACKed record under its original Seq and the server appends it
+	// at most once. Empty ClientID opts out (legacy submits).
+	ClientID string `json:"cid,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
 }
 
 // Response is a server→client message.
@@ -47,6 +53,9 @@ type Response struct {
 	Hashes []string `json:"hashes,omitempty"`
 	Index  int      `json:"index,omitempty"`
 	Error  string   `json:"error,omitempty"`
+	// Dup marks an OK reply for a submit whose (ClientID, Seq) the
+	// server had already applied: the record was not appended again.
+	Dup bool `json:"dup,omitempty"`
 }
 
 // Dedup field names: the list-valued features bulky enough to be worth

@@ -1,6 +1,8 @@
 package collector
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,6 +16,12 @@ import (
 // days and survived because clients kept retrying. Submissions that
 // fail are buffered (up to BufferLimit) and flushed on the next
 // successful submission, preserving order.
+//
+// Every buffered record carries a client-assigned sequence ID
+// (ClientID, Seq). After an ambiguous mid-flight failure — the record
+// was sent but the ACK never arrived — the retransmission reuses the
+// same sequence ID, so the server appends it at most once and
+// reconnecting never double-counts a visit.
 type ResilientClient struct {
 	// Addr is the server address to (re)dial.
 	Addr string
@@ -26,12 +34,37 @@ type ResilientClient struct {
 	// unreachable (default 1024); beyond it, the oldest are dropped —
 	// which is what the paper's deployment effectively did.
 	BufferLimit int
+	// ClientID identifies this client in sequence IDs; NewResilientClient
+	// assigns a random one.
+	ClientID string
 
+	// sendMu serializes flushers. Dial backoff sleeps hold only sendMu,
+	// never mu, so Submit buffering, Pending and Stats stay prompt
+	// during an outage.
+	sendMu sync.Mutex
+
+	// mu guards the queue, the connection handle and the counters.
 	mu      sync.Mutex
 	client  *Client
-	pending []*fingerprint.Record
-	dropped int64
-	sent    int64
+	nextSeq uint64
+	pending []pendingRecord
+	stats   ResilientStats
+}
+
+// pendingRecord is one buffered submission with its sequence ID.
+type pendingRecord struct {
+	rec *fingerprint.Record
+	seq uint64
+}
+
+// ResilientStats reports delivery outcomes. Dropped counts records
+// evicted by BufferLimit — actual data loss — distinctly from
+// transient delivery errors, which leave records pending.
+type ResilientStats struct {
+	Sent        int64 // records ACKed by the server
+	Dropped     int64 // records evicted from the buffer, never delivered
+	Retransmits int64 // deliveries the server identified as duplicates
+	Redials     int64 // successful reconnections
 }
 
 // NewResilientClient builds a resilient client for addr. No connection
@@ -42,7 +75,19 @@ func NewResilientClient(addr string) *ResilientClient {
 		MaxRetries:  3,
 		Backoff:     50 * time.Millisecond,
 		BufferLimit: 1024,
+		ClientID:    newClientID(),
 	}
+}
+
+// newClientID returns a random 16-hex-digit client identifier.
+func newClientID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively fatal elsewhere; fall back
+		// to a fixed-prefix zero ID rather than crash the client.
+		return "cid-0000000000000000"
+	}
+	return "cid-" + hex.EncodeToString(b[:])
 }
 
 // Submit enqueues a record and attempts to flush everything pending.
@@ -50,45 +95,88 @@ func NewResilientClient(addr string) *ResilientClient {
 // older buffered ones) and an error when it remains buffered.
 func (r *ResilientClient) Submit(rec *fingerprint.Record) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.pending = append(r.pending, rec)
+	r.nextSeq++
+	r.pending = append(r.pending, pendingRecord{rec, r.nextSeq})
 	if over := len(r.pending) - r.bufferLimit(); over > 0 {
 		r.pending = r.pending[over:]
-		r.dropped += int64(over)
+		r.stats.Dropped += int64(over)
 	}
-	return r.flushLocked()
+	r.mu.Unlock()
+	return r.flush()
 }
 
 // Flush retries delivery of any buffered records.
 func (r *ResilientClient) Flush() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.flushLocked()
+	return r.flush()
 }
 
-func (r *ResilientClient) flushLocked() error {
-	for len(r.pending) > 0 {
-		c, err := r.ensureClientLocked()
+// flush delivers pending records in order until the queue is empty or
+// delivery fails. The buffered-count context is attached once, at the
+// point of return — not re-wrapped per record.
+func (r *ResilientClient) flush() error {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	for {
+		r.mu.Lock()
+		if len(r.pending) == 0 {
+			r.mu.Unlock()
+			return nil
+		}
+		head := r.pending[0]
+		c := r.client
+		r.mu.Unlock()
+
+		if c == nil {
+			nc, err := r.dial()
+			if err != nil {
+				return r.bufferedErr(err)
+			}
+			r.mu.Lock()
+			r.client = nc
+			r.stats.Redials++
+			r.mu.Unlock()
+			c = nc
+		}
+
+		_, dup, err := c.SubmitSeq(head.rec, r.ClientID, head.seq)
 		if err != nil {
-			return fmt.Errorf("collector: %d records buffered: %w", len(r.pending), err)
-		}
-		if _, err := c.Submit(r.pending[0]); err != nil {
-			// The connection died mid-flight; drop it and let the next
-			// attempt redial.
+			// The connection died mid-flight; the fate of head is
+			// ambiguous, but its sequence ID makes the retransmission
+			// exact, so keep it pending and let the next flush redial.
 			c.Close()
-			r.client = nil
-			return fmt.Errorf("collector: %d records buffered: %w", len(r.pending), err)
+			r.mu.Lock()
+			if r.client == c {
+				r.client = nil
+			}
+			r.mu.Unlock()
+			return r.bufferedErr(err)
 		}
-		r.pending = r.pending[1:]
-		r.sent++
+		r.mu.Lock()
+		// A concurrent Submit may have evicted head under BufferLimit;
+		// only pop it if it is still the queue front.
+		if len(r.pending) > 0 && r.pending[0].seq == head.seq {
+			r.pending = r.pending[1:]
+		}
+		r.stats.Sent++
+		if dup {
+			r.stats.Retransmits++
+		}
+		r.mu.Unlock()
 	}
-	return nil
 }
 
-func (r *ResilientClient) ensureClientLocked() (*Client, error) {
-	if r.client != nil {
-		return r.client, nil
-	}
+// bufferedErr wraps a delivery error with the current backlog size.
+func (r *ResilientClient) bufferedErr(err error) error {
+	r.mu.Lock()
+	n := len(r.pending)
+	r.mu.Unlock()
+	return fmt.Errorf("collector: %d records buffered: %w", n, err)
+}
+
+// dial (re)connects with exponential backoff. It is called with sendMu
+// held but never r.mu: the backoff sleeps do not block Submit
+// buffering, Pending or Stats.
+func (r *ResilientClient) dial() (*Client, error) {
 	retries := r.MaxRetries
 	if retries <= 0 {
 		retries = 3
@@ -113,7 +201,6 @@ func (r *ResilientClient) ensureClientLocked() (*Client, error) {
 			lastErr = err
 			continue
 		}
-		r.client = c
 		return c, nil
 	}
 	if lastErr == nil {
@@ -129,18 +216,19 @@ func (r *ResilientClient) bufferLimit() int {
 	return r.BufferLimit
 }
 
-// Pending returns the number of buffered records.
+// Pending returns the number of buffered records. It does not block
+// behind an in-progress redial.
 func (r *ResilientClient) Pending() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.pending)
 }
 
-// Stats returns delivered and dropped counts.
-func (r *ResilientClient) Stats() (sent, dropped int64) {
+// Stats returns a snapshot of delivery outcomes.
+func (r *ResilientClient) Stats() ResilientStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.sent, r.dropped
+	return r.stats
 }
 
 // Close releases the underlying connection; buffered records are kept

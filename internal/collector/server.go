@@ -1,31 +1,61 @@
 package collector
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fpdyn/internal/storage"
 )
 
+// Default connection-hygiene settings; override the Server fields
+// before Serve.
+const (
+	DefaultReadTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultMaxFrame     = 8 << 20 // one request line, blobs included
+	DefaultDrainGrace   = 500 * time.Millisecond
+)
+
 // Server is the data-storage server: it accepts collection connections,
 // answers dedup checks against its value store, and appends
-// reconstructed records to the backing store.
+// reconstructed records to the backing store. When the store has a WAL
+// attached, a submit is ACKed only after the record is durable.
 type Server struct {
 	store *storage.Store
 
-	mu     sync.Mutex
-	lis    net.Listener
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	// ReadTimeout bounds the wait for the next request on an idle
+	// connection; WriteTimeout bounds one response write. Slow or
+	// stalled clients are disconnected rather than pinning a handler
+	// goroutine forever. Defaults above; negative disables.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// MaxFrame caps one request line in bytes (the inbound-blob
+	// guard): a client exceeding it is disconnected before the payload
+	// is buffered in full.
+	MaxFrame int
+	// DrainGrace is how long existing connections may finish in-flight
+	// requests after Shutdown begins.
+	DrainGrace time.Duration
+
+	mu       sync.Mutex
+	lis      net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
 
 	// Stats counters (atomic).
 	recordsAccepted atomic.Int64
+	recordsDuped    atomic.Int64
 	valuesReceived  atomic.Int64
 	valuesDeduped   atomic.Int64
 	bytesReceived   atomic.Int64
@@ -44,9 +74,38 @@ func NewServer(store *storage.Store) *Server {
 	}
 }
 
+func (s *Server) readTimeout() time.Duration {
+	if s.ReadTimeout == 0 {
+		return DefaultReadTimeout
+	}
+	return s.ReadTimeout
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.WriteTimeout == 0 {
+		return DefaultWriteTimeout
+	}
+	return s.WriteTimeout
+}
+
+func (s *Server) maxFrame() int {
+	if s.MaxFrame <= 0 {
+		return DefaultMaxFrame
+	}
+	return s.MaxFrame
+}
+
+func (s *Server) drainGrace() time.Duration {
+	if s.DrainGrace <= 0 {
+		return DefaultDrainGrace
+	}
+	return s.DrainGrace
+}
+
 // Stats is a snapshot of server counters.
 type Stats struct {
 	RecordsAccepted int64
+	RecordsDuped    int64 // submits answered from the idempotency table
 	ValuesReceived  int64 // blobs actually transferred
 	ValuesDeduped   int64 // blobs skipped thanks to the hash check
 	BytesReceived   int64
@@ -56,6 +115,7 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	return Stats{
 		RecordsAccepted: s.recordsAccepted.Load(),
+		RecordsDuped:    s.recordsDuped.Load(),
 		ValuesReceived:  s.valuesReceived.Load(),
 		ValuesDeduped:   s.valuesDeduped.Load(),
 		BytesReceived:   s.bytesReceived.Load(),
@@ -99,9 +159,15 @@ func (s *Server) Serve(lis net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if s.closed {
+			// Shutdown/Close raced the accept: refuse the connection.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -118,7 +184,10 @@ func (s *Server) Serve(lis net.Listener) error {
 }
 
 // Close stops accepting, closes live connections and waits for
-// handlers to drain.
+// handlers to drain. It is the abrupt stop — in-flight requests are
+// torn down without a response, as a crash would — and doubles as the
+// SIGKILL-equivalent in the chaos tests. Use Shutdown for a graceful
+// drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -138,6 +207,51 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown drains the server: it stops accepting new connections
+// immediately, lets in-flight submissions on existing connections
+// finish (bounded by DrainGrace), then closes. A connection opened
+// after Shutdown begins is refused. If ctx expires first, remaining
+// connections are closed abruptly and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining.Store(true)
+	lis := s.lis
+	deadline := time.Now().Add(s.drainGrace())
+	for c := range s.conns {
+		// Cap every connection's next read at the drain grace so idle
+		// handlers wake up and exit; requests already in flight still
+		// complete and are ACKed.
+		c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		return ctx.Err()
+	}
+}
+
 // countingReader counts bytes drawn from the connection.
 type countingReader struct {
 	r io.Reader
@@ -150,20 +264,68 @@ func (cr countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// handle runs the request loop for one connection.
+// handle runs the request loop for one connection. The protocol is
+// newline-delimited JSON, so requests are framed with a line scanner
+// whose buffer cap is the max-frame guard: an oversized request is
+// rejected before it is slurped into memory.
 func (s *Server) handle(conn net.Conn) error {
-	dec := json.NewDecoder(countingReader{conn, &s.bytesReceived})
+	sc := bufio.NewScanner(countingReader{conn, &s.bytesReceived})
+	// The initial buffer must stay below MaxFrame: bufio caps tokens at
+	// the larger of the two, so a big initial buffer would defeat a
+	// small configured limit.
+	initial := 4 << 10
+	if mf := s.maxFrame(); mf < initial {
+		initial = mf
+	}
+	sc.Buffer(make([]byte, initial), s.maxFrame())
 	enc := json.NewEncoder(conn)
 	for {
+		if !s.draining.Load() {
+			if rt := s.readTimeout(); rt > 0 {
+				conn.SetReadDeadline(time.Now().Add(rt))
+			}
+		}
+		if !sc.Scan() {
+			err := sc.Err()
+			switch {
+			case err == nil:
+				return io.EOF
+			case errors.Is(err, bufio.ErrTooLong):
+				// Best-effort rejection before hanging up.
+				s.writeResponse(conn, enc, &Response{Type: TypeError, Error: "request exceeds frame limit"})
+				return errors.New("request frame too large")
+			case s.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded):
+				return nil // drained: the connection went idle past the grace
+			default:
+				return err
+			}
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var resp *Response
 		var req Request
-		if err := dec.Decode(&req); err != nil {
+		if err := json.Unmarshal(line, &req); err != nil {
+			s.writeResponse(conn, enc, &Response{Type: TypeError, Error: "malformed request"})
 			return err
 		}
-		resp := s.dispatch(&req)
-		if err := enc.Encode(resp); err != nil {
+		resp = s.dispatch(&req)
+		if err := s.writeResponse(conn, enc, resp); err != nil {
 			return err
 		}
+		// During a drain the loop keeps serving — a submission spans two
+		// round trips (check, then submit), so cutting after one response
+		// would break it mid-flight. The absolute read deadline Shutdown
+		// set on the connection bounds how long this can continue.
 	}
+}
+
+func (s *Server) writeResponse(conn net.Conn, enc *json.Encoder, resp *Response) error {
+	if wt := s.writeTimeout(); wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	return enc.Encode(resp)
 }
 
 // dispatch processes one request.
@@ -186,16 +348,27 @@ func (s *Server) dispatch(req *Request) *Response {
 			return &Response{Type: TypeError, Error: "submit without record"}
 		}
 		for h, content := range req.Values {
-			s.store.PutValue(h, content)
+			if err := s.store.PutValueDurable(h, content); err != nil {
+				return &Response{Type: TypeError, Error: "value not durable: " + err.Error()}
+			}
 			s.valuesReceived.Add(1)
 		}
 		rec, err := RestoreRecord(req.Record, req.Refs, s.store.Value)
 		if err != nil {
 			return &Response{Type: TypeError, Error: err.Error()}
 		}
-		idx := s.store.Append(rec)
-		s.recordsAccepted.Add(1)
-		return &Response{Type: TypeOK, Index: idx}
+		idx, dup, err := s.store.AppendDurable(rec, req.ClientID, req.Seq)
+		if err != nil {
+			// The record did not reach stable storage: refuse the ACK so
+			// the client keeps it buffered and retries.
+			return &Response{Type: TypeError, Error: "record not durable: " + err.Error()}
+		}
+		if dup {
+			s.recordsDuped.Add(1)
+		} else {
+			s.recordsAccepted.Add(1)
+		}
+		return &Response{Type: TypeOK, Index: idx, Dup: dup}
 	default:
 		return &Response{Type: TypeError, Error: "unknown request type " + req.Type}
 	}

@@ -1,0 +1,154 @@
+package collector
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"fpdyn/internal/storage"
+)
+
+// startDurableServer is startServer over a WAL-backed store so drain
+// tests can assert recovery, plus control of the drain grace.
+func startDurableServer(t *testing.T, dir string, grace time.Duration) (*Server, *storage.Store, string) {
+	t.Helper()
+	st, wal, _, err := storage.Recover(storage.WALOptions{Dir: dir, Policy: storage.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wal.Close() })
+	srv := NewServer(st)
+	srv.Logf = t.Logf
+	srv.DrainGrace = grace
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, st, lis.Addr().String()
+}
+
+func TestShutdownAcksInFlightSubmission(t *testing.T) {
+	dir := t.TempDir()
+	srv, st, addr := startDurableServer(t, dir, time.Second)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Begin the drain, then race a submission in on the live
+	// connection: it is in flight within the grace window and must be
+	// ACKed, durable, and present after recovery.
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	idx, dup, err := c.SubmitSeq(sampleRecord(), "cid-drain", 1)
+	if err != nil {
+		t.Fatalf("in-flight submit during drain: %v", err)
+	}
+	if idx != 0 || dup {
+		t.Fatalf("idx=%d dup=%v", idx, dup)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store len = %d", st.Len())
+	}
+
+	// The ACKed record survives a restart.
+	st.WAL().Close()
+	st2, w2, stats, err := storage.Recover(storage.WALOptions{Dir: dir, Policy: storage.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if st2.Len() != 1 || stats.Records != 1 {
+		t.Fatalf("recovered len=%d stats=%+v", st2.Len(), stats)
+	}
+}
+
+func TestShutdownRefusesNewConnections(t *testing.T) {
+	srv, _, addr := startDurableServer(t, t.TempDir(), 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Fatal("connection accepted after drain started")
+	}
+}
+
+func TestShutdownClosesIdleConnections(t *testing.T) {
+	srv, _, addr := startDurableServer(t, t.TempDir(), 50*time.Millisecond)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The idle connection must not pin the drain until ctx expiry: the
+	// grace deadline wakes its handler.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("drain of an idle connection took %v", d)
+	}
+	// The drained connection is closed: the next request fails.
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded on a drained connection")
+	}
+}
+
+func TestShutdownContextExpiryForcesClose(t *testing.T) {
+	srv, _, addr := startDurableServer(t, t.TempDir(), 10*time.Second) // grace longer than ctx
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestShutdownIdempotentAndCloseCompatible(t *testing.T) {
+	srv, _, _ := startDurableServer(t, t.TempDir(), 50*time.Millisecond)
+	ctx := context.Background()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,12 @@ type Store struct {
 	byUser   map[string][]int
 	byCookie map[string][]int
 	values   map[string][]byte
+	// lastSeq tracks, per collection client, the highest client-assigned
+	// sequence ID applied — the idempotency table that lets a
+	// reconnecting client resubmit without double-appending.
+	lastSeq map[string]uint64
+	lastIdx map[string]int // index appended for lastSeq[cid]
+	wal     *WAL           // optional write-ahead log
 }
 
 // NewStore returns an empty store.
@@ -37,14 +43,30 @@ func NewStore() *Store {
 		byUser:   make(map[string][]int),
 		byCookie: make(map[string][]int),
 		values:   make(map[string][]byte),
+		lastSeq:  make(map[string]uint64),
+		lastIdx:  make(map[string]int),
 	}
 }
 
-// Append adds a record and returns its index. Records are expected in
-// collection (time) order; the store preserves insertion order.
-func (s *Store) Append(r *fingerprint.Record) int {
+// AttachWAL makes subsequent appends write-ahead to w. Recover calls
+// this after replay; callers building a durable store by hand attach
+// the WAL before accepting traffic.
+func (s *Store) AttachWAL(w *WAL) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.wal = w
+}
+
+// WAL returns the attached write-ahead log, or nil.
+func (s *Store) WAL() *WAL {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal
+}
+
+// appendLocked applies a record to the in-memory log and indexes.
+// Callers hold s.mu.
+func (s *Store) appendLocked(r *fingerprint.Record) int {
 	idx := len(s.records)
 	s.records = append(s.records, r)
 	s.byUser[r.UserID] = append(s.byUser[r.UserID], idx)
@@ -52,6 +74,60 @@ func (s *Store) Append(r *fingerprint.Record) int {
 		s.byCookie[r.Cookie] = append(s.byCookie[r.Cookie], idx)
 	}
 	return idx
+}
+
+// Append adds a record and returns its index. Records are expected in
+// collection (time) order; the store preserves insertion order. With a
+// WAL attached the append is logged best-effort; servers that must not
+// ACK before the record is durable use AppendDurable instead.
+func (s *Store) Append(r *fingerprint.Record) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		_ = s.wal.AppendRecord(r, "", 0)
+	}
+	return s.appendLocked(r)
+}
+
+// AppendDurable adds a record with write-ahead durability and
+// idempotency. clientID/seq is the client-assigned sequence ID; seq
+// must be monotonic per client. A (clientID, seq) already applied is
+// not re-appended: dup is true and idx is the original index (or -1
+// when the duplicate is older than the latest applied seq). With a WAL
+// attached, the entry is on disk — fsynced per policy — before the
+// in-memory append, so an error here means the record was NOT accepted
+// and the server must not ACK.
+func (s *Store) AppendDurable(r *fingerprint.Record, clientID string, seq uint64) (idx int, dup bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if clientID != "" {
+		if last, ok := s.lastSeq[clientID]; ok && seq <= last {
+			if seq == last {
+				return s.lastIdx[clientID], true, nil
+			}
+			return -1, true, nil
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.AppendRecord(r, clientID, seq); err != nil {
+			return 0, false, err
+		}
+	}
+	idx = s.appendLocked(r)
+	if clientID != "" {
+		s.lastSeq[clientID] = seq
+		s.lastIdx[clientID] = idx
+	}
+	return idx, false, nil
+}
+
+// LastSeq returns the highest sequence ID applied for a client, with
+// ok reporting whether the client has ever appended.
+func (s *Store) LastSeq(clientID string) (uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seq, ok := s.lastSeq[clientID]
+	return seq, ok
 }
 
 // Len returns the number of records.
@@ -112,15 +188,41 @@ func (s *Store) HasValue(hash string) bool {
 }
 
 // PutValue stores content under its hash. Re-putting an existing hash
-// is a no-op (content-addressed stores are idempotent).
+// is a no-op (content-addressed stores are idempotent). With a WAL
+// attached the value is logged best-effort; see PutValueDurable.
 func (s *Store) PutValue(hash string, content []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.values[hash]; !ok {
-		cp := make([]byte, len(content))
-		copy(cp, content)
-		s.values[hash] = cp
+	if _, ok := s.values[hash]; ok {
+		return
 	}
+	if s.wal != nil {
+		_ = s.wal.AppendValue(hash, content)
+	}
+	s.putValueLocked(hash, content)
+}
+
+// PutValueDurable stores content under its hash with write-ahead
+// durability: an error means the value was NOT accepted.
+func (s *Store) PutValueDurable(hash string, content []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.values[hash]; ok {
+		return nil
+	}
+	if s.wal != nil {
+		if err := s.wal.AppendValue(hash, content); err != nil {
+			return err
+		}
+	}
+	s.putValueLocked(hash, content)
+	return nil
+}
+
+func (s *Store) putValueLocked(hash string, content []byte) {
+	cp := make([]byte, len(content))
+	copy(cp, content)
+	s.values[hash] = cp
 }
 
 // Value returns the content stored under hash.

@@ -1,0 +1,534 @@
+// Write-ahead log for the collection store. The paper's deployment
+// survived an eight-day server outage (§2.2) because clients retried;
+// the server half of that guarantee is that a record, once ACKed, is
+// never lost to a crash. The WAL provides it: every Append/PutValue is
+// framed, checksummed, and (per policy) fsynced to a segment file
+// before the store acknowledges, and Recover replays the segments into
+// a fresh store on restart, truncating a torn tail frame instead of
+// failing.
+//
+// Frame layout (little endian):
+//
+//	uint32 payload length | uint32 CRC-32C of payload | payload
+//
+// The payload is one JSON-encoded walEntry: either a full visit record
+// (with the client-assigned sequence ID that makes resubmission
+// idempotent) or a content-addressed value. Segments rotate at
+// SegmentSize and are named wal-NNNNNNNN.seg; recovery replays them in
+// name order.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+)
+
+// SyncPolicy selects when the WAL fsyncs its active segment.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an ACK implies the record
+	// survives power loss. The durable default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background ticker (Options.Interval):
+	// an ACK survives process crash but may lose the last interval to
+	// power loss.
+	SyncInterval
+	// SyncNever leaves syncing to the OS: an ACK survives process
+	// crash only. For benchmarks and tests.
+	SyncNever
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -fsync flag spellings.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return SyncAlways, fmt.Errorf("storage: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// SegmentFile is the file surface the WAL writes through. *os.File
+// satisfies it; faultinject wraps it to script write and fsync
+// failures.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WALOptions configures OpenWAL/Recover. The zero value of every field
+// has a usable default; Dir is required.
+type WALOptions struct {
+	// Dir is the segment directory; created if absent.
+	Dir string
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background fsync period under SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// SegmentSize is the rotation threshold in bytes (default 64 MiB).
+	SegmentSize int64
+	// MaxFrame bounds a single payload (default 16 MiB); larger
+	// appends are rejected and larger on-disk length headers are
+	// treated as corruption during recovery.
+	MaxFrame int
+	// OpenFile opens a new segment for appending; defaults to
+	// os.Create. Fault-injection hooks replace it.
+	OpenFile func(path string) (SegmentFile, error)
+}
+
+func (o *WALOptions) segmentSize() int64 {
+	if o.SegmentSize <= 0 {
+		return 64 << 20
+	}
+	return o.SegmentSize
+}
+
+func (o *WALOptions) maxFrame() int {
+	if o.MaxFrame <= 0 {
+		return 16 << 20
+	}
+	return o.MaxFrame
+}
+
+func (o *WALOptions) interval() time.Duration {
+	if o.Interval <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.Interval
+}
+
+func (o *WALOptions) openFile(path string) (SegmentFile, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(path)
+	}
+	return os.Create(path)
+}
+
+// walEntry is the payload of one frame: exactly one of Record or Hash
+// is set. CID/Seq carry the client-assigned sequence ID alongside
+// record entries so recovery rebuilds the idempotency table.
+type walEntry struct {
+	Record *fingerprint.Record `json:"rec,omitempty"`
+	CID    string              `json:"cid,omitempty"`
+	Seq    uint64              `json:"seq,omitempty"`
+	Hash   string              `json:"hash,omitempty"`
+	Value  []byte              `json:"val,omitempty"`
+}
+
+// Sentinel decode errors. ErrTornFrame marks an incomplete tail (the
+// expected shape after a crash mid-write); ErrChecksum marks a frame
+// whose bytes are all present but do not match their CRC.
+var (
+	ErrTornFrame = errors.New("storage: torn wal frame")
+	ErrChecksum  = errors.New("storage: wal frame checksum mismatch")
+	ErrFrameSize = errors.New("storage: wal frame exceeds size bound")
+	ErrWALClosed = errors.New("storage: wal is closed")
+	ErrWALSticky = errors.New("storage: wal disabled after earlier write/fsync failure")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const frameHeaderSize = 8
+
+// WAL is an append-only, checksummed, segmented log. It is safe for
+// concurrent use.
+type WAL struct {
+	opts WALOptions
+
+	mu     sync.Mutex
+	f      SegmentFile
+	seg    int   // current segment number
+	size   int64 // bytes written to current segment
+	buf    []byte
+	closed bool
+	// err is sticky: after a write or fsync failure the log's tail
+	// state is unknown, so every later append refuses until the
+	// operator restarts and recovers.
+	err error
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// OpenWAL opens a fresh WAL in opts.Dir, appending after any existing
+// segments without reading them. Use Recover to replay existing
+// segments into a store first.
+func OpenWAL(opts WALOptions) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("storage: WALOptions.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: wal dir: %w", err)
+	}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if len(segs) > 0 {
+		next = segs[len(segs)-1].n + 1
+	}
+	return openWALAt(opts, next)
+}
+
+func openWALAt(opts WALOptions, seg int) (*WAL, error) {
+	w := &WAL{opts: opts, seg: seg - 1}
+	if err := w.rotateLocked(); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		w.stopSync = make(chan struct{})
+		w.syncDone = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// segName formats the on-disk name of segment n.
+func segName(n int) string { return fmt.Sprintf("wal-%08d.seg", n) }
+
+type segRef struct {
+	n    int
+	name string
+}
+
+// listSegments returns the wal-*.seg files of dir in segment order.
+func listSegments(dir string) ([]segRef, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: wal dir: %w", err)
+	}
+	var segs []segRef
+	for _, e := range ents {
+		name := e.Name()
+		var n int
+		if _, err := fmt.Sscanf(name, "wal-%08d.seg", &n); err == nil && name == segName(n) {
+			segs = append(segs, segRef{n, name})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+	return segs, nil
+}
+
+// rotateLocked closes the active segment (after a final sync) and
+// opens the next one. Callers hold w.mu (or own the WAL exclusively
+// during construction).
+func (w *WAL) rotateLocked() error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: wal rotate sync: %w", err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("storage: wal rotate close: %w", err)
+		}
+		w.f = nil
+	}
+	w.seg++
+	f, err := w.opts.openFile(filepath.Join(w.opts.Dir, segName(w.seg)))
+	if err != nil {
+		return fmt.Errorf("storage: wal open segment: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+// AppendRecord logs one visit record. clientID/seq may be empty/zero
+// for legacy (non-idempotent) appends.
+func (w *WAL) AppendRecord(r *fingerprint.Record, clientID string, seq uint64) error {
+	return w.appendEntry(&walEntry{Record: r, CID: clientID, Seq: seq})
+}
+
+// AppendValue logs one content-addressed value.
+func (w *WAL) AppendValue(hash string, content []byte) error {
+	return w.appendEntry(&walEntry{Hash: hash, Value: content})
+}
+
+func (w *WAL) appendEntry(e *walEntry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("storage: wal encode: %w", err)
+	}
+	return w.append(payload)
+}
+
+// append frames payload and writes it to the active segment, rotating
+// and syncing per policy. Header and payload go down in a single Write
+// so a crash tears at most one frame.
+func (w *WAL) append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if w.err != nil {
+		return fmt.Errorf("%w: %w", ErrWALSticky, w.err)
+	}
+	if len(payload) > w.opts.maxFrame() {
+		return fmt.Errorf("%w: %d > %d bytes", ErrFrameSize, len(payload), w.opts.maxFrame())
+	}
+	frame := frameHeaderSize + len(payload)
+	if w.size > 0 && w.size+int64(frame) > w.opts.segmentSize() {
+		if err := w.rotateLocked(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if cap(w.buf) < frame {
+		w.buf = make([]byte, frame)
+	}
+	buf := w.buf[:frame]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameHeaderSize:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		w.err = err
+		return fmt.Errorf("storage: wal write: %w", err)
+	}
+	w.size += int64(frame)
+	if w.opts.Policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			return fmt.Errorf("storage: wal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	if w.err != nil {
+		return fmt.Errorf("%w: %w", ErrWALSticky, w.err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return fmt.Errorf("storage: wal fsync: %w", err)
+	}
+	return nil
+}
+
+func (w *WAL) syncLoop() {
+	defer close(w.syncDone)
+	t := time.NewTicker(w.opts.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopSync:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.err == nil {
+				if err := w.f.Sync(); err != nil {
+					w.err = err
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Err returns the sticky write/fsync error, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Dir returns the segment directory.
+func (w *WAL) Dir() string { return w.opts.Dir }
+
+// Close performs a final sync and closes the active segment. Safe to
+// call twice.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.f != nil {
+		if w.err == nil {
+			err = w.f.Sync()
+		}
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	stop := w.stopSync
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.syncDone
+	}
+	return err
+}
+
+// DecodeSegment scans the frames of one segment, invoking fn with each
+// CRC-valid payload. It returns the byte offset of the first invalid
+// frame and the reason (ErrTornFrame for an incomplete tail,
+// ErrChecksum for a CRC mismatch, ErrFrameSize for an implausible
+// length header, or fn's own error for an undecodable payload). A
+// fully valid segment returns (len(data), nil). maxFrame <= 0 selects
+// the default bound.
+func DecodeSegment(data []byte, maxFrame int, fn func(payload []byte) error) (int64, error) {
+	if maxFrame <= 0 {
+		maxFrame = (&WALOptions{}).maxFrame()
+	}
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			return off, ErrTornFrame
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		if n > maxFrame {
+			return off, ErrFrameSize
+		}
+		if len(rest) < frameHeaderSize+n {
+			return off, ErrTornFrame
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return off, ErrChecksum
+		}
+		if err := fn(payload); err != nil {
+			return off, err
+		}
+		off += int64(frameHeaderSize + n)
+	}
+	return off, nil
+}
+
+// RecoveryStats summarizes a Recover run; cmd/fpserver logs it as the
+// startup banner.
+type RecoveryStats struct {
+	Segments       int   // segment files replayed
+	Records        int   // record entries applied
+	Values         int   // value entries applied
+	TruncatedBytes int64 // torn tail bytes dropped from the last segment
+	Truncated      bool  // whether a torn tail was truncated
+}
+
+// Recover replays the WAL segments under opts.Dir into a fresh Store,
+// rebuilding the byUser/byCookie/value indexes and the per-client
+// sequence table, then attaches a new WAL (next segment number) to the
+// store so subsequent appends are durable. A torn frame at the tail of
+// the final segment is truncated from the file and dropped; corruption
+// anywhere else fails recovery.
+func Recover(opts WALOptions) (*Store, *WAL, RecoveryStats, error) {
+	var stats RecoveryStats
+	if opts.Dir == "" {
+		return nil, nil, stats, errors.New("storage: WALOptions.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, stats, fmt.Errorf("storage: wal dir: %w", err)
+	}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	st := NewStore()
+	for i, seg := range segs {
+		path := filepath.Join(opts.Dir, seg.name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, stats, fmt.Errorf("storage: wal read %s: %w", seg.name, err)
+		}
+		validLen, derr := DecodeSegment(data, opts.maxFrame(), func(payload []byte) error {
+			var e walEntry
+			if err := json.Unmarshal(payload, &e); err != nil {
+				return fmt.Errorf("storage: wal entry: %w", err)
+			}
+			st.applyEntry(&e, &stats)
+			return nil
+		})
+		stats.Segments++
+		if derr != nil {
+			if i != len(segs)-1 {
+				return nil, nil, stats, fmt.Errorf("storage: wal segment %s corrupt at offset %d: %w", seg.name, validLen, derr)
+			}
+			// Torn tail of the live segment: the crash signature.
+			// Truncate the file so the next recovery is clean, keep
+			// everything before the tear.
+			if err := os.Truncate(path, validLen); err != nil {
+				return nil, nil, stats, fmt.Errorf("storage: wal truncate %s: %w", seg.name, err)
+			}
+			stats.Truncated = true
+			stats.TruncatedBytes = int64(len(data)) - validLen
+		}
+	}
+	next := 1
+	if len(segs) > 0 {
+		next = segs[len(segs)-1].n + 1
+	}
+	w, err := openWALAt(opts, next)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	st.AttachWAL(w)
+	return st, w, stats, nil
+}
+
+// applyEntry replays one WAL entry into the store without re-logging
+// it (recovery attaches the WAL only after replay).
+func (s *Store) applyEntry(e *walEntry, stats *RecoveryStats) {
+	switch {
+	case e.Record != nil:
+		s.mu.Lock()
+		s.appendLocked(e.Record)
+		if e.CID != "" && e.Seq > s.lastSeq[e.CID] {
+			s.lastSeq[e.CID] = e.Seq
+		}
+		s.mu.Unlock()
+		stats.Records++
+	case e.Hash != "":
+		s.mu.Lock()
+		if _, ok := s.values[e.Hash]; !ok {
+			s.values[e.Hash] = e.Value
+		}
+		s.mu.Unlock()
+		stats.Values++
+	}
+}
