@@ -1,20 +1,29 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-pipeline chaos
+.PHONY: check lint-determinism build vet test race bench bench-pipeline chaos
 
-## check: the full gate — build, vet, and the race-enabled test suite.
-## The worker-pool primitives behind the analytic pipeline and the
-## crash-safety stack (WAL storage, collector drain, fault injection)
-## get an explicit vet + race pass so CI keeps gating them even if the
-## package list is ever narrowed.
-check:
+## check: the full gate — build, vet, determinism lint, and the
+## race-enabled test suite. The worker-pool primitives behind the
+## analytic pipeline, the crash-safety stack (WAL storage, collector
+## drain, fault injection) and the obs metrics registry get an explicit
+## vet + race pass so CI keeps gating them even if the package list is
+## ever narrowed.
+check: lint-determinism
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) vet ./internal/parallel/
 	$(GO) vet ./internal/storage/ ./internal/collector/ ./internal/faultinject/
+	$(GO) vet ./internal/obs/
 	$(GO) test -race ./internal/parallel/
 	$(GO) test -race ./internal/storage/ ./internal/collector/ ./internal/faultinject/
+	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./...
+
+## lint-determinism: grep-based guard — the simulation packages must be
+## pure functions of the seed (no time.Now, no global math/rand, no
+## Date.now in non-test files).
+lint-determinism:
+	sh scripts/lint_determinism.sh
 
 ## chaos: the crash-recovery suite, repeated to shake out schedule- and
 ## timing-dependent bugs: kill/restart mid-stream, torn WAL tails,

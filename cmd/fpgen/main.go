@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"fpdyn/internal/obs"
 	"fpdyn/internal/population"
 	"fpdyn/internal/storage"
 )
@@ -27,6 +28,7 @@ func main() {
 	out := flag.String("o", "dataset.jsonl", "output snapshot path")
 	truth := flag.String("truth", "", "optional path for the ground-truth sidecar (instance serials and cause labels)")
 	workers := flag.Int("workers", 0, "simulation worker count: 0 = serial reproduction path, -1 = NumCPU")
+	stageTiming := flag.String("stage-timing", "", "path for the per-stage wall-time/records-per-sec JSON (empty disables)")
 	flag.Parse()
 
 	cfg, ok := population.NamedConfig(*scenario, *users)
@@ -36,8 +38,16 @@ func main() {
 	cfg.Seed = *seed
 	cfg.SimulateDeployment = *deployment
 	cfg.Workers = *workers
-	ds := population.Simulate(cfg)
 
+	var timings *obs.Timings
+	if *stageTiming != "" {
+		timings = &obs.Timings{}
+	}
+	stop := timings.Start("simulate")
+	ds := population.Simulate(cfg)
+	stop(len(ds.Records))
+
+	stop = timings.Start("snapshot_write")
 	store := storage.NewStore()
 	for _, rec := range ds.Records {
 		store.Append(rec)
@@ -45,14 +55,23 @@ func main() {
 	if err := store.SaveFile(*out); err != nil {
 		log.Fatalf("fpgen: %v", err)
 	}
+	stop(len(ds.Records))
 	fmt.Printf("wrote %d records (%d instances, %d users) to %s\n",
 		len(ds.Records), ds.NumInstances, cfg.Users, *out)
 
 	if *truth != "" {
+		stop = timings.Start("truth_sidecar")
 		if err := writeTruth(*truth, ds); err != nil {
 			log.Fatalf("fpgen: %v", err)
 		}
+		stop(len(ds.Records))
 		fmt.Printf("wrote ground truth sidecar to %s\n", *truth)
+	}
+	if *stageTiming != "" {
+		if err := timings.WriteFile(*stageTiming); err != nil {
+			log.Fatalf("fpgen: stage timing: %v", err)
+		}
+		fmt.Printf("wrote stage timing to %s\n", *stageTiming)
 	}
 }
 

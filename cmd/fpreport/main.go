@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"fpdyn/internal/obs"
 	"fpdyn/internal/population"
 	"fpdyn/internal/report"
 )
@@ -28,6 +29,7 @@ func main() {
 		"population preset: "+strings.Join(population.Scenarios(), ", "))
 	what := flag.String("what", "all", "comma-separated artifacts: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig12,estimate,insight1,insight3,compression,tradeoff,stemming or all")
 	workers := flag.Int("workers", 0, "worker count for the simulate/ground-truth/diff/classify pipeline: 0 = serial reproduction path, -1 = NumCPU")
+	stageTiming := flag.String("stage-timing", "", "path for the per-stage wall-time/records-per-sec JSON (empty disables)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -48,7 +50,15 @@ func main() {
 	fmt.Printf("simulating %d users (scenario %s, seed %d) over %s → %s ...\n",
 		cfg.Users, *scenario, cfg.Seed, cfg.Start.Format("2006-01-02"), cfg.End.Format("2006-01-02"))
 
-	r := report.NewWorkers(population.Simulate(cfg), os.Stdout, *workers)
+	var timings *obs.Timings
+	if *stageTiming != "" {
+		timings = &obs.Timings{}
+	}
+	stop := timings.Start("simulate")
+	ds := population.Simulate(cfg)
+	stop(len(ds.Records))
+
+	r := report.NewWorkersTimed(ds, os.Stdout, *workers, timings)
 	r.Summary()
 
 	sections := []struct {
@@ -77,5 +87,13 @@ func main() {
 		if sel(s.name) {
 			s.fn()
 		}
+	}
+
+	if *stageTiming != "" {
+		if err := timings.WriteFile(*stageTiming); err != nil {
+			fmt.Fprintf(os.Stderr, "fpreport: stage timing: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote stage timing to %s\n", *stageTiming)
 	}
 }

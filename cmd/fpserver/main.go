@@ -14,9 +14,14 @@
 // in-flight submissions finish (-drain-timeout bounds the wait), runs
 // a final fsync, and snapshots the store to disk.
 //
+// With -admin-addr a second HTTP listener serves the observability
+// surface: /metrics (Prometheus text exposition), /varz (JSON
+// snapshot), /healthz (503 while draining or after a WAL write/fsync
+// fault poisoned the log), and /debug/pprof/.
+//
 // Usage:
 //
-//	fpserver -addr 127.0.0.1:9400 -wal-dir wal/ -fsync always -o collected.jsonl
+//	fpserver -addr 127.0.0.1:9400 -admin-addr 127.0.0.1:9401 -wal-dir wal/ -fsync always -o collected.jsonl
 package main
 
 import (
@@ -25,17 +30,20 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"fpdyn/internal/collector"
+	"fpdyn/internal/obs"
 	"fpdyn/internal/storage"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9400", "listen address")
+	adminAddr := flag.String("admin-addr", "", "admin HTTP listener for /metrics, /varz, /healthz, /debug/pprof/ (empty disables)")
 	out := flag.String("o", "collected.jsonl", "snapshot path written on shutdown")
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory (empty = in-memory only, records lost on crash)")
@@ -78,6 +86,40 @@ func main() {
 		log.Fatalf("fpserver: %v", err)
 	}
 	fmt.Printf("fpserver listening on %s\n", lis.Addr())
+
+	if *adminAddr != "" {
+		regs := []*obs.Registry{srv.Metrics()}
+		if wal != nil {
+			regs = append(regs, wal.Metrics())
+		}
+		regs = append(regs, obs.NewRuntimeRegistry())
+		health := func() obs.HealthStatus {
+			st := obs.HealthStatus{Healthy: true}
+			if srv.Draining() {
+				st.Draining = true
+				st.Detail = "draining: refusing new connections"
+			}
+			if wal != nil {
+				if werr := wal.Err(); werr != nil {
+					st.Healthy = false
+					st.WALError = werr.Error()
+				}
+			}
+			return st
+		}
+		adminLis, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("fpserver: admin listener: %v", err)
+		}
+		fmt.Printf("admin endpoint on http://%s (/metrics /varz /healthz /debug/pprof/)\n", adminLis.Addr())
+		go func() {
+			// The admin server lives for the whole process: scrapes keep
+			// working during a drain, which is exactly when they matter.
+			if err := http.Serve(adminLis, obs.NewAdminHandler(health, regs...)); err != nil {
+				log.Printf("fpserver: admin server: %v", err)
+			}
+		}()
+	}
 
 	if *statsEvery > 0 {
 		go func() {

@@ -5,10 +5,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sync"
 	"time"
 
 	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/obs"
 )
 
 // ResilientClient wraps the transfer module with reconnection and
@@ -30,6 +32,11 @@ type ResilientClient struct {
 	// Backoff is the base delay between redials, doubled per attempt
 	// (default 50ms; tests use ~1ms).
 	Backoff time.Duration
+	// MaxBackoff caps the doubled delay (default 5s). Each sleep is
+	// full-jittered: uniform in (0, min(backoff, MaxBackoff)], so a
+	// fleet of clients recovering from the same outage does not redial
+	// in lockstep.
+	MaxBackoff time.Duration
 	// BufferLimit caps the number of records held while the server is
 	// unreachable (default 1024); beyond it, the oldest are dropped —
 	// which is what the paper's deployment effectively did.
@@ -49,7 +56,15 @@ type ResilientClient struct {
 	nextSeq uint64
 	pending []pendingRecord
 	stats   ResilientStats
+	// closeCh aborts an in-flight dial backoff sleep promptly when the
+	// client is closed. Close closes it; the next Submit/Flush lazily
+	// recreates it, preserving the "buffered records can still flush
+	// after Close" contract.
+	closeCh chan struct{}
 }
+
+// ErrClientClosed aborts a dial backoff when Close is called mid-sleep.
+var ErrClientClosed = errors.New("collector: client closed during dial backoff")
 
 // pendingRecord is one buffered submission with its sequence ID.
 type pendingRecord struct {
@@ -173,23 +188,29 @@ func (r *ResilientClient) bufferedErr(err error) error {
 	return fmt.Errorf("collector: %d records buffered: %w", n, err)
 }
 
-// dial (re)connects with exponential backoff. It is called with sendMu
-// held but never r.mu: the backoff sleeps do not block Submit
-// buffering, Pending or Stats.
+// dial (re)connects with capped, jittered exponential backoff. It is
+// called with sendMu held but never r.mu: the backoff sleeps do not
+// block Submit buffering, Pending or Stats. A concurrent Close aborts
+// the sleep promptly instead of letting it run out.
 func (r *ResilientClient) dial() (*Client, error) {
 	retries := r.MaxRetries
 	if retries <= 0 {
 		retries = 3
 	}
-	backoff := r.Backoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
+	closing := r.closedCh()
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			t := time.NewTimer(r.backoffDelay(attempt))
+			select {
+			case <-t.C:
+			case <-closing:
+				t.Stop()
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last dial error: %v)", ErrClientClosed, lastErr)
+				}
+				return nil, ErrClientClosed
+			}
 		}
 		c, err := Dial(r.Addr)
 		if err != nil {
@@ -207,6 +228,46 @@ func (r *ResilientClient) dial() (*Client, error) {
 		lastErr = errors.New("unreachable")
 	}
 	return nil, lastErr
+}
+
+// backoffDelay computes the sleep before dial attempt n (n ≥ 1): the
+// base backoff doubled per attempt, capped at MaxBackoff, with full
+// jitter — uniform in (0, cap]. Full jitter (the AWS architecture-blog
+// recommendation) trades a slightly longer expected recovery for
+// de-synchronizing a fleet of clients that all lost the same server.
+func (r *ResilientClient) backoffDelay(n int) time.Duration {
+	base := r.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := r.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= maxB {
+			d = maxB
+			break
+		}
+	}
+	if d > maxB {
+		d = maxB
+	}
+	// Full jitter; never zero so consecutive attempts cannot hot-spin.
+	return 1 + time.Duration(mrand.Int63n(int64(d)))
+}
+
+// closedCh returns the channel Close will close, creating a fresh one
+// if a previous Close consumed it.
+func (r *ResilientClient) closedCh() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closeCh == nil {
+		r.closeCh = make(chan struct{})
+	}
+	return r.closeCh
 }
 
 func (r *ResilientClient) bufferLimit() int {
@@ -231,15 +292,41 @@ func (r *ResilientClient) Stats() ResilientStats {
 	return r.stats
 }
 
-// Close releases the underlying connection; buffered records are kept
-// and can still be flushed after a later Submit/Flush redials.
+// Close releases the underlying connection and aborts any dial backoff
+// sleep in flight; buffered records are kept and can still be flushed
+// after a later Submit/Flush redials.
 func (r *ResilientClient) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closeCh != nil {
+		close(r.closeCh)
+		r.closeCh = nil
+	}
 	if r.client != nil {
 		err := r.client.Close()
 		r.client = nil
 		return err
 	}
 	return nil
+}
+
+// Instrument registers the client's delivery outcomes as live gauges
+// on reg, sampled at scrape time: records sent/dropped, retransmits,
+// redials, and the current backlog depth. Metric names carry the
+// client ID as a label so several clients can share one registry.
+func (r *ResilientClient) Instrument(reg *obs.Registry) {
+	labels := []string{"client", r.ClientID}
+	stat := func(pick func(ResilientStats) int64) func() float64 {
+		return func() float64 { return float64(pick(r.Stats())) }
+	}
+	reg.GaugeFunc("client_records_sent", "Records ACKed by the server.",
+		stat(func(s ResilientStats) int64 { return s.Sent }), labels...)
+	reg.GaugeFunc("client_records_dropped", "Records evicted from the buffer, never delivered.",
+		stat(func(s ResilientStats) int64 { return s.Dropped }), labels...)
+	reg.GaugeFunc("client_retransmits", "Deliveries the server identified as duplicates.",
+		stat(func(s ResilientStats) int64 { return s.Retransmits }), labels...)
+	reg.GaugeFunc("client_redials", "Successful reconnections.",
+		stat(func(s ResilientStats) int64 { return s.Redials }), labels...)
+	reg.GaugeFunc("client_pending_records", "Records currently buffered awaiting delivery.",
+		func() float64 { return float64(r.Pending()) }, labels...)
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fpdyn/internal/obs"
 	"fpdyn/internal/storage"
 )
 
@@ -53,26 +54,77 @@ type Server struct {
 	wg       sync.WaitGroup
 	draining atomic.Bool
 
-	// Stats counters (atomic).
-	recordsAccepted atomic.Int64
-	recordsDuped    atomic.Int64
-	valuesReceived  atomic.Int64
-	valuesDeduped   atomic.Int64
-	bytesReceived   atomic.Int64
+	// metrics backs both Stats() and the /metrics scrape, so the two
+	// views can never disagree.
+	metrics serverMetrics
 
 	// Logf receives per-connection error logs; defaults to log.Printf.
 	// Set before Serve.
 	Logf func(format string, args ...any)
 }
 
+// serverMetrics is the collector server's obs wiring. Counters are
+// resolved once at construction; the request path only performs atomic
+// updates.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requestsPing   *obs.Counter
+	requestsCheck  *obs.Counter
+	requestsSubmit *obs.Counter
+	requestsOther  *obs.Counter
+	reqLatency     *obs.Histogram
+
+	recordsAccepted *obs.Counter
+	recordsDuped    *obs.Counter
+	valuesReceived  *obs.Counter
+	valuesDeduped   *obs.Counter
+	bytesReceived   *obs.Counter
+	framesRejected  *obs.Counter
+
+	activeConns  *obs.Gauge
+	draining     *obs.Gauge
+	drainSeconds *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		reg:            reg,
+		requestsPing:   reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypePing),
+		requestsCheck:  reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypeCheck),
+		requestsSubmit: reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypeSubmit),
+		requestsOther:  reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", "other"),
+		reqLatency:     reg.Histogram("collector_request_seconds", "Request dispatch latency (decode excluded).", nil),
+
+		recordsAccepted: reg.Counter("collector_records_accepted_total", "Records appended to the store."),
+		recordsDuped:    reg.Counter("collector_records_duped_total", "Submits answered from the idempotency table."),
+		valuesReceived:  reg.Counter("collector_values_received_total", "Content-addressed blobs transferred."),
+		valuesDeduped:   reg.Counter("collector_values_deduped_total", "Blobs skipped thanks to the hash check."),
+		bytesReceived:   reg.Counter("collector_bytes_received_total", "Inbound frame bytes drawn from client connections."),
+		framesRejected:  reg.Counter("collector_frames_rejected_total", "Requests dropped for exceeding the frame limit."),
+
+		activeConns:  reg.Gauge("collector_active_connections", "Currently open client connections."),
+		draining:     reg.Gauge("collector_draining", "1 while a graceful Shutdown drain is in progress or finished."),
+		drainSeconds: reg.Gauge("collector_drain_seconds", "Wall time the last Shutdown drain took."),
+	}
+}
+
 // NewServer creates a server over the given store.
 func NewServer(store *storage.Store) *Server {
 	return &Server{
-		store: store,
-		conns: make(map[net.Conn]struct{}),
-		Logf:  log.Printf,
+		store:   store,
+		conns:   make(map[net.Conn]struct{}),
+		metrics: newServerMetrics(obs.NewRegistry()),
+		Logf:    log.Printf,
 	}
 }
+
+// Metrics returns the server's metric registry for the admin endpoint
+// (/metrics, /varz) to serve.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// Draining reports whether a graceful Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 func (s *Server) readTimeout() time.Duration {
 	if s.ReadTimeout == 0 {
@@ -111,14 +163,15 @@ type Stats struct {
 	BytesReceived   int64
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The same counters back the
+// /metrics exposition, so a scrape and a Stats call always agree.
 func (s *Server) Stats() Stats {
 	return Stats{
-		RecordsAccepted: s.recordsAccepted.Load(),
-		RecordsDuped:    s.recordsDuped.Load(),
-		ValuesReceived:  s.valuesReceived.Load(),
-		ValuesDeduped:   s.valuesDeduped.Load(),
-		BytesReceived:   s.bytesReceived.Load(),
+		RecordsAccepted: s.metrics.recordsAccepted.Value(),
+		RecordsDuped:    s.metrics.recordsDuped.Value(),
+		ValuesReceived:  s.metrics.valuesReceived.Value(),
+		ValuesDeduped:   s.metrics.valuesDeduped.Value(),
+		BytesReceived:   s.metrics.bytesReceived.Value(),
 	}
 }
 
@@ -168,6 +221,7 @@ func (s *Server) Serve(lis net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.metrics.activeConns.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -175,6 +229,7 @@ func (s *Server) Serve(lis net.Listener) error {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
+				s.metrics.activeConns.Add(-1)
 			}()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("collector: connection %s: %v", conn.RemoteAddr(), err)
@@ -209,9 +264,10 @@ func (s *Server) Close() error {
 
 // Shutdown drains the server: it stops accepting new connections
 // immediately, lets in-flight submissions on existing connections
-// finish (bounded by DrainGrace), then closes. A connection opened
-// after Shutdown begins is refused. If ctx expires first, remaining
-// connections are closed abruptly and ctx.Err is returned.
+// finish (bounded by DrainGrace, and never past ctx's own deadline),
+// then closes. A connection opened after Shutdown begins is refused.
+// If ctx expires first, remaining connections are closed abruptly and
+// ctx.Err is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -220,10 +276,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.closed = true
 	s.draining.Store(true)
+	s.metrics.draining.Set(1)
+	drainStart := time.Now()
 	lis := s.lis
-	deadline := time.Now().Add(s.drainGrace())
+	deadline := drainStart.Add(s.drainGrace())
+	if d, ok := ctx.Deadline(); ok {
+		// The caller's budget is tighter than the drain grace: wake idle
+		// handlers a beat before the ctx deadline so they exit cleanly
+		// inside it instead of sleeping past it and getting force-closed.
+		if h := d.Add(-20 * time.Millisecond); h.Before(deadline) {
+			deadline = h
+			if deadline.Before(drainStart) {
+				deadline = drainStart
+			}
+		}
+	}
 	for c := range s.conns {
-		// Cap every connection's next read at the drain grace so idle
+		// Cap every connection's next read at the drain deadline so idle
 		// handlers wake up and exit; requests already in flight still
 		// complete and are ACKed.
 		c.SetReadDeadline(deadline)
@@ -232,6 +301,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if lis != nil {
 		lis.Close()
 	}
+	defer func() {
+		s.metrics.drainSeconds.SetDuration(time.Since(drainStart))
+	}()
 
 	done := make(chan struct{})
 	go func() {
@@ -242,6 +314,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		select {
+		case <-done:
+			// The drain finished on the same tick the budget expired —
+			// that is a completed shutdown, not a forced one.
+			return nil
+		default:
+		}
 		s.mu.Lock()
 		for c := range s.conns {
 			c.Close()
@@ -252,10 +331,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// countingReader counts bytes drawn from the connection.
+// countingReader counts bytes drawn from the connection into the
+// inbound-bytes counter.
 type countingReader struct {
 	r io.Reader
-	n *atomic.Int64
+	n *obs.Counter
 }
 
 func (cr countingReader) Read(p []byte) (int, error) {
@@ -269,7 +349,7 @@ func (cr countingReader) Read(p []byte) (int, error) {
 // whose buffer cap is the max-frame guard: an oversized request is
 // rejected before it is slurped into memory.
 func (s *Server) handle(conn net.Conn) error {
-	sc := bufio.NewScanner(countingReader{conn, &s.bytesReceived})
+	sc := bufio.NewScanner(countingReader{conn, s.metrics.bytesReceived})
 	// The initial buffer must stay below MaxFrame: bufio caps tokens at
 	// the larger of the two, so a big initial buffer would defeat a
 	// small configured limit.
@@ -292,6 +372,7 @@ func (s *Server) handle(conn net.Conn) error {
 				return io.EOF
 			case errors.Is(err, bufio.ErrTooLong):
 				// Best-effort rejection before hanging up.
+				s.metrics.framesRejected.Inc()
 				s.writeResponse(conn, enc, &Response{Type: TypeError, Error: "request exceeds frame limit"})
 				return errors.New("request frame too large")
 			case s.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded):
@@ -328,8 +409,28 @@ func (s *Server) writeResponse(conn net.Conn, enc *json.Encoder, resp *Response)
 	return enc.Encode(resp)
 }
 
-// dispatch processes one request.
+// dispatch processes one request, counting it by verb and timing it
+// into the request-latency histogram. The instrumentation is two
+// atomic adds plus one clock read pair — nothing on this path
+// allocates.
 func (s *Server) dispatch(req *Request) *Response {
+	switch req.Type {
+	case TypePing:
+		s.metrics.requestsPing.Inc()
+	case TypeCheck:
+		s.metrics.requestsCheck.Inc()
+	case TypeSubmit:
+		s.metrics.requestsSubmit.Inc()
+	default:
+		s.metrics.requestsOther.Inc()
+	}
+	start := time.Now()
+	resp := s.dispatchInner(req)
+	s.metrics.reqLatency.ObserveDuration(time.Since(start))
+	return resp
+}
+
+func (s *Server) dispatchInner(req *Request) *Response {
 	switch req.Type {
 	case TypePing:
 		return &Response{Type: TypePong}
@@ -337,7 +438,7 @@ func (s *Server) dispatch(req *Request) *Response {
 		var missing []string
 		for _, h := range req.Hashes {
 			if s.store.HasValue(h) {
-				s.valuesDeduped.Add(1)
+				s.metrics.valuesDeduped.Inc()
 			} else {
 				missing = append(missing, h)
 			}
@@ -351,7 +452,7 @@ func (s *Server) dispatch(req *Request) *Response {
 			if err := s.store.PutValueDurable(h, content); err != nil {
 				return &Response{Type: TypeError, Error: "value not durable: " + err.Error()}
 			}
-			s.valuesReceived.Add(1)
+			s.metrics.valuesReceived.Inc()
 		}
 		rec, err := RestoreRecord(req.Record, req.Refs, s.store.Value)
 		if err != nil {
@@ -364,9 +465,9 @@ func (s *Server) dispatch(req *Request) *Response {
 			return &Response{Type: TypeError, Error: "record not durable: " + err.Error()}
 		}
 		if dup {
-			s.recordsDuped.Add(1)
+			s.metrics.recordsDuped.Inc()
 		} else {
-			s.recordsAccepted.Add(1)
+			s.metrics.recordsAccepted.Inc()
 		}
 		return &Response{Type: TypeOK, Index: idx, Dup: dup}
 	default:

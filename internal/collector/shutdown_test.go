@@ -122,7 +122,12 @@ func TestShutdownClosesIdleConnections(t *testing.T) {
 	}
 }
 
-func TestShutdownContextExpiryForcesClose(t *testing.T) {
+// TestShutdownCtxTighterThanGrace pins the deadline-cap fix: with a
+// 10s grace but a 150ms ctx budget, idle handlers are woken inside the
+// budget and the drain completes gracefully — the old code slept them
+// out to the full grace and the only exit was a forced close with
+// DeadlineExceeded.
+func TestShutdownCtxTighterThanGrace(t *testing.T) {
 	srv, _, addr := startDurableServer(t, t.TempDir(), 10*time.Second) // grace longer than ctx
 	c, err := Dial(addr)
 	if err != nil {
@@ -132,10 +137,44 @@ func TestShutdownContextExpiryForcesClose(t *testing.T) {
 	if err := c.Ping(); err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
-		t.Fatalf("shutdown err = %v, want DeadlineExceeded", err)
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown err = %v, want graceful drain inside the ctx budget", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shutdown took %v; the read deadline was not capped at the ctx budget", d)
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping succeeded on a drained connection")
+	}
+}
+
+// TestShutdownCancelForcesClose covers the forced path: a ctx with no
+// deadline that gets cancelled mid-drain must close connections and
+// return the cancellation promptly instead of waiting out the grace.
+func TestShutdownCancelForcesClose(t *testing.T) {
+	srv, _, addr := startDurableServer(t, t.TempDir(), 10*time.Second)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != context.Canceled {
+		t.Fatalf("shutdown err = %v, want Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("forced close took %v", d)
 	}
 }
 

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// HealthStatus is the /healthz payload. Healthy=false or
+// Draining=true renders as 503 so load balancers and probes stop
+// routing traffic; the body says which condition tripped.
+type HealthStatus struct {
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
+	WALError string `json:"wal_error,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// HealthFunc computes the current health on each probe.
+type HealthFunc func() HealthStatus
+
+// NewAdminHandler builds the admin surface over one or more metric
+// registries:
+//
+//	/metrics       Prometheus text exposition (all registries, in order)
+//	/varz          merged JSON snapshot
+//	/healthz       health probe (200 healthy, 503 unhealthy or draining)
+//	/debug/pprof/  net/http/pprof (profile, heap, goroutine, trace, ...)
+//
+// health may be nil (always healthy). The handler holds no locks
+// across registries, so a scrape during a drain or a WAL fault cannot
+// deadlock the server.
+func NewAdminHandler(health HealthFunc, regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if err := r.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, req *http.Request) {
+		snaps := make([]Snapshot, len(regs))
+		for i, r := range regs {
+			snaps[i] = r.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		MergeSnapshots(snaps...).WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		st := HealthStatus{Healthy: true}
+		if health != nil {
+			st = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Healthy || st.Draining {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	// pprof is wired explicitly instead of via the net/http/pprof
+	// DefaultServeMux side effect, so only this admin listener exposes
+	// it.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// NewRuntimeRegistry returns a registry of Go runtime gauges
+// (goroutines, heap, GC pauses) refreshed once per scrape by a
+// sampler — one runtime.ReadMemStats per scrape, not per gauge.
+func NewRuntimeRegistry() *Registry {
+	r := NewRegistry()
+	goroutines := r.Gauge("go_goroutines", "Number of live goroutines.")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapObjects := r.Gauge("go_heap_objects", "Number of allocated heap objects.")
+	gcTotal := r.Gauge("go_gc_cycles_total", "Completed GC cycles.")
+	gcPauseTotal := r.Gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.")
+	gcPauseLast := r.Gauge("go_gc_pause_last_seconds", "Duration of the most recent GC pause.")
+	r.AddSampler(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.SetInt(int64(runtime.NumGoroutine()))
+		heapAlloc.SetInt(int64(ms.HeapAlloc))
+		heapObjects.SetInt(int64(ms.HeapObjects))
+		gcTotal.SetInt(int64(ms.NumGC))
+		gcPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+		if ms.NumGC > 0 {
+			gcPauseLast.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+		}
+	})
+	return r
+}

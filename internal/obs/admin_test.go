@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// adminFixture builds an admin handler over two registries and a
+// switchable health state.
+func adminFixture() (http.Handler, *Registry, *HealthStatus) {
+	server := NewRegistry()
+	server.Counter("collector_requests_total", "reqs", "verb", "submit").Add(5)
+	wal := NewRegistry()
+	wal.Histogram("wal_fsync_seconds", "fsync", nil).Observe(0.001)
+	health := &HealthStatus{Healthy: true}
+	h := NewAdminHandler(func() HealthStatus { return *health }, server, wal)
+	return h, server, health
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminMetricsAndVarz(t *testing.T) {
+	h, _, _ := adminFixture()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		`collector_requests_total{verb="submit"} 5`,
+		"# TYPE wal_fsync_seconds histogram",
+		`wal_fsync_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/varz")
+	if code != http.StatusOK {
+		t.Fatalf("/varz status = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/varz is not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters[`collector_requests_total{verb="submit"}`] != 5 {
+		t.Errorf("/varz counters = %+v", snap.Counters)
+	}
+	if snap.Histograms["wal_fsync_seconds"].Count != 1 {
+		t.Errorf("/varz histograms = %+v", snap.Histograms)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	h, _, health := adminFixture()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"healthy":true`) {
+		t.Fatalf("healthy probe: code=%d body=%s", code, body)
+	}
+
+	health.Draining = true
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"draining":true`) {
+		t.Fatalf("draining probe: code=%d body=%s", code, body)
+	}
+
+	health.Draining = false
+	health.Healthy = false
+	health.WALError = "fsync failed"
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "fsync failed") {
+		t.Fatalf("unhealthy probe: code=%d body=%s", code, body)
+	}
+}
+
+func TestAdminHealthzNilFunc(t *testing.T) {
+	srv := httptest.NewServer(NewAdminHandler(nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"healthy":true`) {
+		t.Fatalf("nil health func: code=%d body=%s", code, body)
+	}
+}
+
+func TestAdminPprof(t *testing.T) {
+	h, _, _ := adminFixture()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code=%d body=%.120s", code, body)
+	}
+	code, _ = get(t, srv, "/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("goroutine profile status = %d", code)
+	}
+}

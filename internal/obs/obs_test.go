@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	g.SetDuration(1500 * time.Millisecond)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "verb", "submit")
+	b := r.Counter("x_total", "", "verb", "submit")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter("x_total", "", "verb", "check")
+	if a == other {
+		t.Fatal("different labels must be distinct series")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "", "verb", "submit")
+}
+
+// TestConcurrentUpdates hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this is the
+// hot-path safety proof, and the final tallies check no update was
+// lost (atomics, not benign races).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.005)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+	// Sum of 2000 iterations of (0,0.005,0.01,0.015) per worker.
+	wantSum := float64(workers) * float64(perWorker/4) * (0 + 0.005 + 0.01 + 0.015)
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+	// 90 fast (≤10ms), 9 medium, 1 slow: p50 in the first bucket, p95
+	// in the second, p99 in the second (cum 99 ≥ 99).
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(0.5)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 <= 0 || s.P50 > 0.01 {
+		t.Errorf("p50 = %v, want in (0, 0.01]", s.P50)
+	}
+	if s.P95 <= 0.01 || s.P95 > 0.1 {
+		t.Errorf("p95 = %v, want in (0.01, 0.1]", s.P95)
+	}
+	if s.P99 <= 0.01 || s.P99 > 0.1 {
+		t.Errorf("p99 = %v, want in (0.01, 0.1]", s.P99)
+	}
+
+	// Everything in the +Inf bucket clamps to the largest finite bound.
+	h2 := r.Histogram("lat2_seconds", "", []float64{0.01})
+	h2.Observe(5)
+	if got := h2.Snapshot().P50; got != 0.01 {
+		t.Errorf("overflow p50 = %v, want 0.01", got)
+	}
+}
+
+// TestPrometheusGolden pins the text exposition format end to end:
+// HELP/TYPE headers, label rendering, histogram bucket/sum/count
+// expansion, and scrape-time gauge funcs.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("collector_requests_total", "Requests handled.", "verb", "submit")
+	c.Add(3)
+	r.Counter("collector_requests_total", "Requests handled.", "verb", "ping").Add(7)
+	g := r.Gauge("collector_active_connections", "Open connections.")
+	g.Set(2)
+	r.GaugeFunc("client_pending_records", "Backlog depth.", func() float64 { return 4 }, "client", "cid-1")
+	h := r.Histogram("wal_fsync_seconds", "Fsync latency.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP collector_requests_total Requests handled.
+# TYPE collector_requests_total counter
+collector_requests_total{verb="submit"} 3
+collector_requests_total{verb="ping"} 7
+# HELP collector_active_connections Open connections.
+# TYPE collector_active_connections gauge
+collector_active_connections 2
+# HELP client_pending_records Backlog depth.
+# TYPE client_pending_records gauge
+client_pending_records{client="cid-1"} 4
+# HELP wal_fsync_seconds Fsync latency.
+# TYPE wal_fsync_seconds histogram
+wal_fsync_seconds_bucket{le="0.001"} 1
+wal_fsync_seconds_bucket{le="0.01"} 2
+wal_fsync_seconds_bucket{le="+Inf"} 3
+wal_fsync_seconds_sum 0.5055
+wal_fsync_seconds_count 3
+`
+	if got != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotAndMerge(t *testing.T) {
+	server := NewRegistry()
+	server.Counter("collector_records_accepted_total", "").Add(11)
+	wal := NewRegistry()
+	wal.Gauge("wal_sticky_error", "").Set(1)
+	wal.Histogram("wal_append_seconds", "", nil).Observe(0.002)
+
+	merged := MergeSnapshots(server.Snapshot(), wal.Snapshot())
+	if merged.Counters["collector_records_accepted_total"] != 11 {
+		t.Errorf("merged counter missing: %+v", merged.Counters)
+	}
+	if merged.Gauges["wal_sticky_error"] != 1 {
+		t.Errorf("merged gauge missing: %+v", merged.Gauges)
+	}
+	hs, ok := merged.Histograms["wal_append_seconds"]
+	if !ok || hs.Count != 1 {
+		t.Errorf("merged histogram missing: %+v", merged.Histograms)
+	}
+}
+
+func TestSamplerRunsOnScrape(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("sampled", "")
+	n := 0
+	r.AddSampler(func() { n++; g.SetInt(int64(n)) })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	r.Snapshot()
+	if n != 2 {
+		t.Fatalf("sampler ran %d times, want 2", n)
+	}
+	if got := r.Snapshot().Gauges["sampled"]; got != 3 {
+		t.Fatalf("sampled gauge = %v, want 3", got)
+	}
+}
+
+func TestRuntimeRegistry(t *testing.T) {
+	s := NewRuntimeRegistry().Snapshot()
+	if s.Gauges["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v, want ≥ 1", s.Gauges["go_goroutines"])
+	}
+	if s.Gauges["go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", s.Gauges["go_heap_alloc_bytes"])
+	}
+}
+
+func TestTimings(t *testing.T) {
+	tm := &Timings{}
+	tm.Observe("simulate", 1000, 2*time.Second)
+	stop := tm.Start("classify")
+	stop(500)
+	stages := tm.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	if stages[0].Stage != "simulate" || stages[0].RecsPerSec != 500 {
+		t.Errorf("stage[0] = %+v", stages[0])
+	}
+	if stages[1].Stage != "classify" || stages[1].Seconds < 0 {
+		t.Errorf("stage[1] = %+v", stages[1])
+	}
+
+	var b strings.Builder
+	if err := tm.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"stage": "simulate"`, `"records_per_sec": 500`, `"total_seconds"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("timing JSON missing %s:\n%s", want, b.String())
+		}
+	}
+
+	// A nil collector is a silent no-op — pipeline code threads it
+	// through unconditionally.
+	var nilT *Timings
+	nilT.Observe("x", 1, time.Second)
+	nilT.Start("y")(2)
+	if nilT.Stages() != nil || nilT.TotalSeconds() != 0 {
+		t.Error("nil Timings must be a no-op")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}

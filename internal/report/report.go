@@ -20,6 +20,7 @@ import (
 	"fpdyn/internal/dynamics"
 	"fpdyn/internal/fingerprint"
 	"fpdyn/internal/inference"
+	"fpdyn/internal/obs"
 	"fpdyn/internal/population"
 	"fpdyn/internal/stats"
 	"fpdyn/internal/stemming"
@@ -52,14 +53,31 @@ func New(ds *population.Dataset, w io.Writer) *Reporter {
 // classifier's memo so the report sections reuse classifications
 // instead of re-deriving them.
 func NewWorkers(ds *population.Dataset, w io.Writer, workers int) *Reporter {
+	return NewWorkersTimed(ds, w, workers, nil)
+}
+
+// NewWorkersTimed is NewWorkers with per-stage wall-time observability:
+// each pipeline stage (ground truth, dynamics, classify) is timed into
+// timings with its record count, so cmd/fpreport can emit the
+// machine-readable stage-timing JSON alongside BENCH_pipeline.json. A
+// nil timings is a no-op.
+func NewWorkersTimed(ds *population.Dataset, w io.Writer, workers int, timings *obs.Timings) *Reporter {
 	if workers == 0 {
 		workers = 1
 	}
+	stop := timings.Start("ground_truth")
 	gt := browserid.BuildParallel(ds.Records, workers)
+	stop(len(ds.Records))
+
+	stop = timings.Start("dynamics")
 	dyns := dynamics.GenerateParallel(gt, workers)
+	stop(len(dyns))
+
 	changed := dynamics.Changed(dyns)
 	cl := &dynamics.Classifier{Images: dynamics.MapImages(ds.CanvasImages)}
+	stop = timings.Start("classify")
 	cl.ClassifyAll(changed, workers)
+	stop(len(changed))
 	return &Reporter{
 		w:       w,
 		ds:      ds,
@@ -144,15 +162,20 @@ func (r *Reporter) Table1() {
 	fmt.Fprintln(r.w)
 }
 
-// Fig3 prints the identifier breakdowns.
+// Fig3 prints the identifier breakdowns. Each histogram's total is
+// computed once and the per-bucket shares read through the cached-sum
+// path (Histogram.ShareOf).
 func (r *Reporter) Fig3() {
 	perUser, perBrowser := stats.UserBrowserCookie(r.gt)
+	userTotal := perUser.Total()
+	browserTotal := perBrowser.Total()
 	fmt.Fprintln(r.w, "Figure 3: identifier breakdowns")
+	one, two := perUser.ShareOf(1, userTotal), perUser.ShareOf(2, userTotal)
 	fmt.Fprintf(r.w, "  # browser IDs per user ID:  1: %.1f%%  2: %.1f%%  3+: %.1f%%  (paper: 86%% have one)\n",
-		100*perUser.Share(1), 100*perUser.Share(2), 100*(1-perUser.Share(1)-perUser.Share(2)))
-	multi := 1 - perBrowser.Share(0) - perBrowser.Share(1)
+		100*one, 100*two, 100*(1-one-two))
+	multi := 1 - perBrowser.ShareOf(0, browserTotal) - perBrowser.ShareOf(1, browserTotal)
 	fmt.Fprintf(r.w, "  # cookies per browser ID:   1: %.1f%%  >1: %.1f%%  (paper: 32%% have more than one)\n\n",
-		100*perBrowser.Share(1), 100*multi)
+		100*perBrowser.ShareOf(1, browserTotal), 100*multi)
 }
 
 // Fig4 prints the weekly first-time/returning visit series.

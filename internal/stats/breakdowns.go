@@ -11,16 +11,31 @@ import (
 // Histogram maps a small-integer bucket to a count.
 type Histogram map[int]int
 
-// Share returns the fraction (0–1) of mass at bucket k.
-func (h Histogram) Share(k int) float64 {
+// Total returns the histogram's mass. Callers reading several shares
+// (report loops iterate every bucket) compute it once and use ShareOf,
+// instead of letting Share re-sum the map per bucket — O(n) total
+// rather than O(n²).
+func (h Histogram) Total() int {
 	total := 0
 	for _, c := range h {
 		total += c
 	}
+	return total
+}
+
+// ShareOf returns the fraction (0–1) of mass at bucket k against a
+// precomputed Total — the cached-sum path for per-bucket loops.
+func (h Histogram) ShareOf(k, total int) float64 {
 	if total == 0 {
 		return 0
 	}
 	return float64(h[k]) / float64(total)
+}
+
+// Share returns the fraction (0–1) of mass at bucket k. It re-sums the
+// histogram; inside loops prefer Total + ShareOf.
+func (h Histogram) Share(k int) float64 {
+	return h.ShareOf(k, h.Total())
 }
 
 // UserBrowserCookie computes the two Figure 3 histograms: the number

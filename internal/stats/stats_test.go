@@ -248,3 +248,25 @@ func BenchmarkAnonymitySets(b *testing.B) {
 		AnonymitySets(ds.Records, inst, true, 10)
 	}
 }
+
+// TestHistogramTotalShare pins the cached-sum contract: ShareOf with a
+// hoisted Total agrees with Share, and the zero-mass edge returns 0.
+func TestHistogramTotalShare(t *testing.T) {
+	h := Histogram{1: 6, 2: 3, 5: 1}
+	if got := h.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	total := h.Total()
+	for k := 0; k <= 5; k++ {
+		if got, want := h.ShareOf(k, total), h.Share(k); got != want {
+			t.Errorf("bucket %d: ShareOf = %v, Share = %v", k, got, want)
+		}
+	}
+	if got := h.Share(1); got != 0.6 {
+		t.Errorf("Share(1) = %v, want 0.6", got)
+	}
+	var empty Histogram
+	if empty.Total() != 0 || empty.Share(3) != 0 || empty.ShareOf(3, 0) != 0 {
+		t.Error("empty histogram must report zero total and shares")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/obs"
 )
 
 // SyncPolicy selects when the WAL fsyncs its active segment.
@@ -105,6 +106,10 @@ type WALOptions struct {
 	// OpenFile opens a new segment for appending; defaults to
 	// os.Create. Fault-injection hooks replace it.
 	OpenFile func(path string) (SegmentFile, error)
+	// Registry receives the WAL's metrics (append/fsync latency,
+	// bytes written, rotations, recovery counters). Nil allocates a
+	// private registry, reachable via WAL.Metrics.
+	Registry *obs.Registry
 }
 
 func (o *WALOptions) segmentSize() int64 {
@@ -164,7 +169,8 @@ const frameHeaderSize = 8
 // WAL is an append-only, checksummed, segmented log. It is safe for
 // concurrent use.
 type WAL struct {
-	opts WALOptions
+	opts    WALOptions
+	metrics walMetrics
 
 	mu     sync.Mutex
 	f      SegmentFile
@@ -174,11 +180,62 @@ type WAL struct {
 	closed bool
 	// err is sticky: after a write or fsync failure the log's tail
 	// state is unknown, so every later append refuses until the
-	// operator restarts and recovers.
+	// operator restarts and recovers. Set via setErrLocked so the
+	// sticky-error gauge tracks it.
 	err error
 
 	stopSync chan struct{}
 	syncDone chan struct{}
+}
+
+// walMetrics is the WAL's obs wiring: latency histograms for the two
+// stable-storage operations and counters for throughput and lifecycle
+// events. Updates are atomic; nothing here allocates on the append
+// path.
+type walMetrics struct {
+	reg *obs.Registry
+
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
+	bytesWritten  *obs.Counter
+	appends       *obs.Counter
+	rotations     *obs.Counter
+	stickyError   *obs.Gauge
+
+	recoveredRecords  *obs.Gauge
+	recoveredValues   *obs.Gauge
+	recoveredSegments *obs.Gauge
+	truncatedBytes    *obs.Gauge
+}
+
+func newWALMetrics(reg *obs.Registry) walMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return walMetrics{
+		reg:           reg,
+		appendSeconds: reg.Histogram("wal_append_seconds", "Latency of one framed append (fsync included under the always policy).", nil),
+		fsyncSeconds:  reg.Histogram("wal_fsync_seconds", "Latency of one segment fsync.", nil),
+		bytesWritten:  reg.Counter("wal_bytes_written_total", "Framed bytes written to segment files."),
+		appends:       reg.Counter("wal_appends_total", "Frames appended."),
+		rotations:     reg.Counter("wal_segment_rotations_total", "Segment files rotated out."),
+		stickyError:   reg.Gauge("wal_sticky_error", "1 after a write/fsync failure poisoned the log."),
+
+		recoveredRecords:  reg.Gauge("wal_recovered_records", "Record entries replayed by the last Recover."),
+		recoveredValues:   reg.Gauge("wal_recovered_values", "Value entries replayed by the last Recover."),
+		recoveredSegments: reg.Gauge("wal_recovered_segments", "Segment files replayed by the last Recover."),
+		truncatedBytes:    reg.Gauge("wal_recovery_truncated_bytes", "Torn tail bytes truncated by the last Recover."),
+	}
+}
+
+// Metrics returns the WAL's metric registry for the admin endpoint.
+func (w *WAL) Metrics() *obs.Registry { return w.metrics.reg }
+
+// setErrLocked records the sticky error and flips the gauge. Callers
+// hold w.mu.
+func (w *WAL) setErrLocked(err error) {
+	w.err = err
+	w.metrics.stickyError.Set(1)
 }
 
 // OpenWAL opens a fresh WAL in opts.Dir, appending after any existing
@@ -203,7 +260,7 @@ func OpenWAL(opts WALOptions) (*WAL, error) {
 }
 
 func openWALAt(opts WALOptions, seg int) (*WAL, error) {
-	w := &WAL{opts: opts, seg: seg - 1}
+	w := &WAL{opts: opts, seg: seg - 1, metrics: newWALMetrics(opts.Registry)}
 	if err := w.rotateLocked(); err != nil {
 		return nil, err
 	}
@@ -246,13 +303,14 @@ func listSegments(dir string) ([]segRef, error) {
 // during construction).
 func (w *WAL) rotateLocked() error {
 	if w.f != nil {
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsyncLocked(); err != nil {
 			return fmt.Errorf("storage: wal rotate sync: %w", err)
 		}
 		if err := w.f.Close(); err != nil {
 			return fmt.Errorf("storage: wal rotate close: %w", err)
 		}
 		w.f = nil
+		w.metrics.rotations.Inc()
 	}
 	w.seg++
 	f, err := w.opts.openFile(filepath.Join(w.opts.Dir, segName(w.seg)))
@@ -285,8 +343,11 @@ func (w *WAL) appendEntry(e *walEntry) error {
 
 // append frames payload and writes it to the active segment, rotating
 // and syncing per policy. Header and payload go down in a single Write
-// so a crash tears at most one frame.
+// so a crash tears at most one frame. The append-latency observation
+// covers the whole durable path: rotation (if due), the write, and the
+// fsync under SyncAlways.
 func (w *WAL) append(payload []byte) error {
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -301,7 +362,7 @@ func (w *WAL) append(payload []byte) error {
 	frame := frameHeaderSize + len(payload)
 	if w.size > 0 && w.size+int64(frame) > w.opts.segmentSize() {
 		if err := w.rotateLocked(); err != nil {
-			w.err = err
+			w.setErrLocked(err)
 			return err
 		}
 	}
@@ -313,17 +374,32 @@ func (w *WAL) append(payload []byte) error {
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	copy(buf[frameHeaderSize:], payload)
 	if _, err := w.f.Write(buf); err != nil {
-		w.err = err
+		w.setErrLocked(err)
 		return fmt.Errorf("storage: wal write: %w", err)
 	}
 	w.size += int64(frame)
+	w.metrics.bytesWritten.Add(int64(frame))
+	w.metrics.appends.Inc()
 	if w.opts.Policy == SyncAlways {
-		if err := w.f.Sync(); err != nil {
-			w.err = err
+		if err := w.fsyncLocked(); err != nil {
+			w.setErrLocked(err)
 			return fmt.Errorf("storage: wal fsync: %w", err)
 		}
 	}
+	w.metrics.appendSeconds.ObserveDuration(time.Since(start))
 	return nil
+}
+
+// fsyncLocked syncs the active segment, timing it into the fsync
+// histogram. Callers hold w.mu and handle the sticky-error bookkeeping
+// themselves (rotation wraps the error differently from appends).
+func (w *WAL) fsyncLocked() error {
+	start := time.Now()
+	err := w.f.Sync()
+	if err == nil {
+		w.metrics.fsyncSeconds.ObserveDuration(time.Since(start))
+	}
+	return err
 }
 
 // Sync forces an fsync of the active segment.
@@ -340,8 +416,8 @@ func (w *WAL) syncLocked() error {
 	if w.err != nil {
 		return fmt.Errorf("%w: %w", ErrWALSticky, w.err)
 	}
-	if err := w.f.Sync(); err != nil {
-		w.err = err
+	if err := w.fsyncLocked(); err != nil {
+		w.setErrLocked(err)
 		return fmt.Errorf("storage: wal fsync: %w", err)
 	}
 	return nil
@@ -358,8 +434,8 @@ func (w *WAL) syncLoop() {
 		case <-t.C:
 			w.mu.Lock()
 			if !w.closed && w.err == nil {
-				if err := w.f.Sync(); err != nil {
-					w.err = err
+				if err := w.fsyncLocked(); err != nil {
+					w.setErrLocked(err)
 				}
 			}
 			w.mu.Unlock()
@@ -507,6 +583,12 @@ func Recover(opts WALOptions) (*Store, *WAL, RecoveryStats, error) {
 	if err != nil {
 		return nil, nil, stats, err
 	}
+	// Publish what recovery found: a scrape after a restart shows how
+	// much was replayed and whether a torn tail was dropped.
+	w.metrics.recoveredRecords.SetInt(int64(stats.Records))
+	w.metrics.recoveredValues.SetInt(int64(stats.Values))
+	w.metrics.recoveredSegments.SetInt(int64(stats.Segments))
+	w.metrics.truncatedBytes.SetInt(stats.TruncatedBytes)
 	st.AttachWAL(w)
 	return st, w, stats, nil
 }

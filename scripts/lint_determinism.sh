@@ -1,0 +1,42 @@
+#!/bin/sh
+# lint_determinism.sh — fail if nondeterminism sneaks into the
+# simulation packages. The paper-reproduction path (internal/population,
+# internal/canvas) must be a pure function of the seed: any call to
+# time.Now, the global math/rand functions (which draw from a shared,
+# unseeded source), or a stray JS-style Date.now breaks replayability
+# of every figure and golden file.
+#
+# Test files are exempt: they may time things or exercise randomness.
+set -u
+
+fail=0
+for dir in internal/population internal/canvas; do
+    for f in "$dir"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        # time.Now() — wall-clock reads.
+        if grep -n 'time\.Now(' "$f"; then
+            echo "determinism lint: $f calls time.Now — simulations must derive time from the seed/config" >&2
+            fail=1
+        fi
+        # Global math/rand draws (rand.Intn etc. on the shared source).
+        # Seeded instances (rng := rand.New(rand.NewSource(seed)); rng.Intn)
+        # are fine and are the idiom these packages use.
+        if grep -En '(^|[^.[:alnum:]_])rand\.(Seed|Int|Intn|Int31n?|Int63n?|Uint32|Uint64|Float32|Float64|NormFloat64|ExpFloat64|Perm|Shuffle|Read)\(' "$f"; then
+            echo "determinism lint: $f uses the global math/rand source — use a seeded rand.New(rand.NewSource(...))" >&2
+            fail=1
+        fi
+        # Date.now — guards generated/embedded JS snippets too.
+        if grep -n 'Date\.now' "$f"; then
+            echo "determinism lint: $f references Date.now" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "determinism lint FAILED" >&2
+    exit 1
+fi
+echo "determinism lint OK"
