@@ -1,22 +1,24 @@
 GO ?= go
 
-.PHONY: check lint-determinism build vet test race bench bench-pipeline chaos
+.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest chaos
 
 ## check: the full gate — build, vet, determinism lint, and the
 ## race-enabled test suite. The worker-pool primitives behind the
 ## analytic pipeline, the crash-safety stack (WAL storage, collector
-## drain, fault injection) and the obs metrics registry get an explicit
-## vet + race pass so CI keeps gating them even if the package list is
-## ever narrowed.
+## drain, fault injection), the obs metrics registry and the forest
+## trainer get an explicit vet + race pass so CI keeps gating them even
+## if the package list is ever narrowed.
 check: lint-determinism
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) vet ./internal/parallel/
 	$(GO) vet ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) vet ./internal/obs/
+	$(GO) vet ./internal/mlearn/
 	$(GO) test -race ./internal/parallel/
 	$(GO) test -race ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) test -race ./internal/obs/
+	$(GO) test -race ./internal/mlearn/
 	$(GO) test -race ./...
 
 ## lint-determinism: grep-based guard — the simulation packages must be
@@ -57,3 +59,11 @@ bench:
 ## overrides the default 3000-user world).
 bench-pipeline:
 	BENCH_PIPELINE_OUT=BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v .
+
+## bench-forest: the learning-based linker's forest snapshot
+## (BENCH_forest.json): pair preprocessing and forest training
+## throughput serial vs parallel, a tree/depth sweep, and scalar vs
+## batch prediction incl. LearnLinker.TopK latency. BENCH_FOREST_USERS
+## overrides the default 2500-user world.
+bench-forest:
+	BENCH_FOREST_OUT=BENCH_forest.json $(GO) test -run TestEmitForestBench -v -timeout 30m .

@@ -199,17 +199,8 @@ var candPool = sync.Pool{New: func() any { return new([]Candidate) }}
 // parallel and serial runs return identical rankings. Callers must
 // hold mu (read side suffices: scoring never mutates the table).
 func (g *engine) scoreTopK(cand []int, all bool, workers, k int, score func(*entry) (float64, bool)) []Candidate {
-	n := len(cand)
-	if all {
-		n = len(g.entries)
-	}
-	at := func(j int) *entry {
-		if all {
-			return g.entries[j]
-		}
-		return g.entries[cand[j]]
-	}
-	run := func(lo, hi int, out []Candidate) []Candidate {
+	at, n := g.candAt(cand, all)
+	return g.rankChunks(n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
 		for j := lo; j < hi; j++ {
 			e := at(j)
 			if s, ok := score(e); ok {
@@ -217,7 +208,61 @@ func (g *engine) scoreTopK(cand []int, all bool, workers, k int, score func(*ent
 			}
 		}
 		return out
+	})
+}
+
+// scoreBlock is the candidate-block size the batch scorers work in:
+// large enough that a batch forest pass amortizes its per-block setup,
+// small enough that a block of pair vectors stays cache-resident.
+const scoreBlock = 256
+
+// blockPool recycles the per-block entry gather buffers of
+// scoreTopKBatch.
+var blockPool = sync.Pool{New: func() any {
+	b := make([]*entry, 0, scoreBlock)
+	return &b
+}}
+
+// scoreTopKBatch is scoreTopK for scorers that evaluate candidates a
+// block at a time (the learning linker's batch forest kernel): score
+// receives up to scoreBlock entries and appends the accepted ones to
+// out, preserving block order, so the merged ranking is identical to
+// the per-entry path. Callers must hold mu.
+func (g *engine) scoreTopKBatch(cand []int, all bool, workers, k int, score func(es []*entry, out []Candidate) []Candidate) []Candidate {
+	at, n := g.candAt(cand, all)
+	return g.rankChunks(n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
+		bp := blockPool.Get().(*[]*entry)
+		block := *bp
+		for lo < hi {
+			end := min(lo+scoreBlock, hi)
+			block = block[:0]
+			for j := lo; j < end; j++ {
+				block = append(block, at(j))
+			}
+			out = score(block, out)
+			lo = end
+		}
+		*bp = block[:0]
+		blockPool.Put(bp)
+		return out
+	})
+}
+
+// candAt resolves the candidate indirection: an accessor over either
+// the explicit candidate list or the whole table, plus its length.
+func (g *engine) candAt(cand []int, all bool) (at func(int) *entry, n int) {
+	if all {
+		return func(j int) *entry { return g.entries[j] }, len(g.entries)
 	}
+	return func(j int) *entry { return g.entries[cand[j]] }, len(cand)
+}
+
+// rankChunks runs the chunked scoring loop shared by the per-entry and
+// batch scorers: run(lo, hi, out) scores index range [lo, hi) appending
+// accepted candidates in index order. Parallel chunks are merged in
+// chunk order before the deterministic top-k selection, so every
+// (workers, chunking) configuration returns identical rankings.
+func (g *engine) rankChunks(n, workers, k int, run func(lo, hi int, out []Candidate) []Candidate) []Candidate {
 	bufp := candPool.Get().(*[]Candidate)
 	buf := (*bufp)[:0]
 	if workers <= 0 {

@@ -8,6 +8,7 @@ import (
 
 	"fpdyn/internal/fingerprint"
 	"fpdyn/internal/mlearn"
+	"fpdyn/internal/parallel"
 )
 
 // LearnLinker is the learning-based FP-Stalker variant: a random
@@ -30,6 +31,11 @@ type LearnLinker struct {
 	NoBlocking bool
 	// Workers caps the scoring pool: 0 means GOMAXPROCS, 1 is serial.
 	Workers int
+	// ScalarScore forces per-pair scalar forest evaluation instead of
+	// the default batch kernel, which scores whole candidate blocks one
+	// forest pass at a time (ablation / equivalence baseline; both
+	// paths return identical rankings).
+	ScalarScore bool
 
 	eng *engine
 }
@@ -61,19 +67,52 @@ func (l *LearnLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 	l.eng.mu.RLock()
 	defer l.eng.mu.RUnlock()
 	cand, all := l.eng.learnCandidates(q.ua, q.ok, l.NoBlocking)
-	return l.eng.scoreTopK(cand, all, l.Workers, k, func(e *entry) (float64, bool) {
-		// Prefilter: browser family must match when both parse. Kept
-		// here (not only in the blocking index) so the NoBlocking scan
-		// returns identical results.
-		if q.ok && e.ok && (q.ua.Browser != e.ua.Browser || q.ua.Mobile != e.ua.Mobile) {
-			return 0, false
+	// Prefilter: browser family must match when both parse. Kept here
+	// (not only in the blocking index) so the NoBlocking scan returns
+	// identical results.
+	reject := func(e *entry) bool {
+		return q.ok && e.ok && (q.ua.Browser != e.ua.Browser || q.ua.Mobile != e.ua.Mobile)
+	}
+	if l.ScalarScore {
+		return l.eng.scoreTopK(cand, all, l.Workers, k, func(e *entry) (float64, bool) {
+			if reject(e) {
+				return 0, false
+			}
+			vp := vecPool.Get().(*[]float64)
+			v := appendPairVector((*vp)[:0], e, q)
+			p, ok := l.Forest.PredictProbaAtLeast(v, l.Threshold)
+			*vp = v
+			vecPool.Put(vp)
+			return p, ok
+		})
+	}
+	// Batch path: each candidate block becomes one row-major matrix of
+	// pair vectors scored by a single forest pass (every tree walks the
+	// whole block before the next tree loads), instead of one forest
+	// walk per pair.
+	return l.eng.scoreTopKBatch(cand, all, l.Workers, k, func(es []*entry, out []Candidate) []Candidate {
+		s := batchPool.Get().(*batchScratch)
+		kept, xs := s.kept[:0], s.xs[:0]
+		for _, e := range es {
+			if reject(e) {
+				continue
+			}
+			xs = appendPairVector(xs, e, q)
+			kept = append(kept, e)
 		}
-		vp := vecPool.Get().(*[]float64)
-		v := appendPairVector((*vp)[:0], e, q)
-		p, ok := l.Forest.PredictProbaAtLeast(v, l.Threshold)
-		*vp = v
-		vecPool.Put(vp)
-		return p, ok
+		if len(kept) > 0 {
+			probs := s.probs[:len(kept)]
+			oks := s.oks[:len(kept)]
+			l.Forest.PredictProbaAtLeastBatch(xs, l.Threshold, probs, oks)
+			for i, e := range kept {
+				if oks[i] {
+					out = append(out, Candidate{ID: e.id, Score: probs[i]})
+				}
+			}
+		}
+		s.kept, s.xs = kept, xs
+		batchPool.Put(s)
+		return out
 	})
 }
 
@@ -82,6 +121,25 @@ func (l *LearnLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 var vecPool = sync.Pool{New: func() any {
 	b := make([]float64, 0, NumPairFeatures)
 	return &b
+}}
+
+// batchScratch holds one scoring worker's per-block buffers: the
+// row-major pair-vector matrix, the surviving entries, and the batch
+// kernel's outputs. Sized to scoreBlock so a block never reallocates.
+type batchScratch struct {
+	xs    []float64
+	kept  []*entry
+	probs []float64
+	oks   []bool
+}
+
+var batchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		xs:    make([]float64, 0, scoreBlock*NumPairFeatures),
+		kept:  make([]*entry, 0, scoreBlock),
+		probs: make([]float64, scoreBlock),
+		oks:   make([]bool, scoreBlock),
+	}
 }}
 
 // NumPairFeatures is the dimensionality of PairVector.
@@ -253,63 +311,148 @@ type trainPair struct {
 // nothing else, in which case the negative is skipped.
 const negativeDrawTries = 16
 
-// pairTrainingSet builds the labelled pair set TrainPairModel fits:
+// negPoolSize is the sliding-window size of the negative-sampling pool.
+const negPoolSize = 4096
+
+// negPool is the fixed-capacity sliding window of recent records the
+// negative sampler draws from. The historical implementation kept a
+// slice and re-sliced off its front (`pool = pool[len-4096:]`), which
+// pinned the ever-growing backing array for the whole stream; the ring
+// writes in place and holds exactly negPoolSize slots. Logical index i
+// (0 = oldest retained record) maps onto the same record the sliced
+// window exposed at i, so a given RNG stream draws the same records as
+// before.
+type negPool struct {
+	buf   []negPoolRec
+	count int // total records ever pushed
+}
+
+type negPoolRec struct {
+	idx  int32 // index into the record stream
+	inst int32
+}
+
+func newNegPool() *negPool { return &negPool{buf: make([]negPoolRec, negPoolSize)} }
+
+func (p *negPool) push(idx, inst int32) {
+	p.buf[p.count%negPoolSize] = negPoolRec{idx, inst}
+	p.count++
+}
+
+func (p *negPool) size() int { return min(p.count, negPoolSize) }
+
+func (p *negPool) at(i int) negPoolRec {
+	if p.count <= negPoolSize {
+		return p.buf[i]
+	}
+	return p.buf[(p.count+i)%negPoolSize]
+}
+
+// pairSpec is one sampled (known, query) pair before its feature vector
+// exists: record indices plus the label. Splitting sampling from vector
+// construction is what lets the vectors build in parallel while the
+// sampled sequence stays identical to the serial RNG stream.
+type pairSpec struct {
+	known, query int32
+	label        int8
+}
+
+// samplePairSpecs runs the sequential sampling pass of pairTrainingSet:
 // consecutive fingerprints of one instance are positives; records of
-// *other* instances sampled from a sliding pool are negatives. Draws
+// *other* instances drawn from the sliding pool are negatives. Draws
 // that land on the query's own instance are rejected and retried a
 // bounded number of times — a same-instance pair labelled 0 would
 // teach the forest to unlink true matches.
-func pairTrainingSet(records []*fingerprint.Record, instances []int, rng *rand.Rand) []trainPair {
-	type poolRec struct {
-		rec  *fingerprint.Record
-		inst int
-	}
-	last := make(map[int]*fingerprint.Record)
-	var pairs []trainPair
-	var pool []poolRec // recent records for negative sampling
-	for i, rec := range records {
-		inst := instances[i]
+func samplePairSpecs(instances []int, rng *rand.Rand) []pairSpec {
+	last := make(map[int]int32) // instance → index of its latest record
+	var specs []pairSpec
+	pool := newNegPool()
+	for i, inst := range instances {
 		if prev, ok := last[inst]; ok {
-			pairs = append(pairs, trainPair{PairVector(prev, rec), 1, inst, inst})
+			specs = append(specs, pairSpec{prev, int32(i), 1})
 			// Two negatives per positive keeps classes balanced enough.
-			for n := 0; n < 2 && len(pool) > 1; n++ {
+			for n := 0; n < 2 && pool.size() > 1; n++ {
 				for tries := 0; tries < negativeDrawTries; tries++ {
-					cand := pool[rng.Intn(len(pool))]
-					if cand.inst == inst {
+					cand := pool.at(rng.Intn(pool.size()))
+					if int(cand.inst) == inst {
 						continue
 					}
-					pairs = append(pairs, trainPair{PairVector(cand.rec, rec), 0, cand.inst, inst})
+					specs = append(specs, pairSpec{cand.idx, int32(i), 0})
 					break
 				}
 			}
 		}
-		last[inst] = rec
-		pool = append(pool, poolRec{rec, inst})
-		if len(pool) > 4096 {
-			pool = pool[len(pool)-4096:]
-		}
+		last[inst] = int32(i)
+		pool.push(int32(i), int32(inst))
 	}
-	return pairs
+	return specs
+}
+
+// pairTrainingSet builds the labelled pair set TrainPairModel fits, in
+// two phases: a sequential sampling pass (samplePairSpecs — cheap, RNG
+// order preserved) followed by a parallel construction pass that
+// preprocesses each referenced record once (UA parse, feature keys,
+// sorted set hashes) and builds the pair vectors on the worker pool.
+// The PairVector builds dominate TrainPairModel preprocessing; both
+// the output pairs and their order are identical for every worker
+// count, and to the historical fully-serial builder.
+func pairTrainingSet(records []*fingerprint.Record, instances []int, rng *rand.Rand, workers int) []trainPair {
+	specs := samplePairSpecs(instances, rng)
+	used := make([]bool, len(records))
+	for _, s := range specs {
+		used[s.known] = true
+		used[s.query] = true
+	}
+	entries := make([]*entry, len(records))
+	parallel.ForEach(workers, len(records), func(i int) {
+		if used[i] {
+			entries[i] = newPairEntry("", records[i])
+		}
+	})
+	return parallel.Map(workers, len(specs), func(i int) trainPair {
+		s := specs[i]
+		return trainPair{
+			x:         appendPairVector(make([]float64, 0, NumPairFeatures), entries[s.known], entries[s.query]),
+			label:     int(s.label),
+			knownInst: instances[s.known],
+			queryInst: instances[s.query],
+		}
+	})
+}
+
+// PairTrainingSet builds the labelled pair-vector training set that
+// TrainPairModel fits — rows in sampling order and their 0/1 labels —
+// for callers that train or benchmark the forest directly. seed must
+// match the ForestConfig seed for the pair stream TrainPairModel would
+// draw; workers follows the package convention (1 serial, else NumCPU)
+// and never changes the output.
+func PairTrainingSet(records []*fingerprint.Record, instances []int, seed int64, workers int) ([][]float64, []int, error) {
+	if len(records) != len(instances) {
+		return nil, nil, fmt.Errorf("fpstalker: %d records but %d instance labels", len(records), len(instances))
+	}
+	rng := rand.New(rand.NewSource(seed + 99))
+	pairs := pairTrainingSet(records, instances, rng, workers)
+	if len(pairs) == 0 {
+		return nil, nil, fmt.Errorf("fpstalker: no training pairs (need repeat visits)")
+	}
+	X := make([][]float64, len(pairs))
+	y := make([]int, len(pairs))
+	for i, p := range pairs {
+		X[i], y[i] = p.x, p.label
+	}
+	return X, y, nil
 }
 
 // TrainPairModel builds a training set from a labelled record stream
 // (records in time order with their true instance IDs) and fits the
 // forest: consecutive fingerprints of one instance are positives;
 // fingerprints of other instances sampled at the same time are
-// negatives.
+// negatives. Preprocessing and tree training both run on cfg.Workers
+// workers; the model is identical for every worker count.
 func TrainPairModel(records []*fingerprint.Record, instances []int, cfg mlearn.ForestConfig) (*mlearn.Forest, error) {
-	if len(records) != len(instances) {
-		return nil, fmt.Errorf("fpstalker: %d records but %d instance labels", len(records), len(instances))
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 99))
-	pairs := pairTrainingSet(records, instances, rng)
-	if len(pairs) == 0 {
-		return nil, fmt.Errorf("fpstalker: no training pairs (need repeat visits)")
-	}
-	X := make([][]float64, len(pairs))
-	y := make([]int, len(pairs))
-	for i, p := range pairs {
-		X[i], y[i] = p.x, p.label
+	X, y, err := PairTrainingSet(records, instances, cfg.Seed, cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
 	return mlearn.TrainForest(X, y, cfg)
 }

@@ -81,7 +81,7 @@ func TestNegativeSamplingNeverSameInstance(t *testing.T) {
 	}
 
 	for seed := int64(0); seed < 20; seed++ {
-		pairs := pairTrainingSet(records, instances, rand.New(rand.NewSource(seed)))
+		pairs := pairTrainingSet(records, instances, rand.New(rand.NewSource(seed)), 1)
 		for _, p := range pairs {
 			if p.label == 0 && p.knownInst == p.queryInst {
 				t.Fatalf("seed %d: same-instance pair (inst %d) labelled negative", seed, p.knownInst)
@@ -109,7 +109,7 @@ func TestNegativeSamplingYieldsTwoPerPositive(t *testing.T) {
 		records = append(records, streamRecord(0, v))
 		instances = append(instances, 0)
 	}
-	pairs := pairTrainingSet(records, instances, rand.New(rand.NewSource(5)))
+	pairs := pairTrainingSet(records, instances, rand.New(rand.NewSource(5)), 1)
 	pos, neg := 0, 0
 	for _, p := range pairs {
 		if p.label == 1 {

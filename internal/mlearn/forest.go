@@ -6,6 +6,17 @@
 // behaviour and its scalability wall (Figure 10's observation that the
 // learning variant cannot keep up at dataset scale).
 //
+// The trainer is columnar: the training matrix is flattened into
+// column-major storage with one presorted index array per feature, and
+// every node's best-split search is a rank-ordered O(n) scan per
+// candidate feature — no per-node sorts, no per-node allocations (see
+// columnar.go). Trees train in parallel on the shared worker pool, each
+// from its own splitmix-derived sub-RNG, so the forest is worker-count
+// invariant: Workers=1 and Workers=N produce byte-identical trees,
+// probabilities and importances. Trained trees live in a flattened
+// structure-of-arrays layout walked by both the scalar predictors and
+// the batch kernels in batch.go.
+//
 // Only binary classification with probability output is provided; that
 // is all FP-Stalker's "same browser instance?" model needs.
 package mlearn
@@ -14,7 +25,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+
+	"fpdyn/internal/parallel"
 )
 
 // ForestConfig controls training. Zero values select sensible defaults
@@ -25,6 +37,11 @@ type ForestConfig struct {
 	MinLeaf     int     // minimum samples per leaf, default 2
 	FeatureFrac float64 // fraction of features tried per split, default sqrt(d)/d
 	Seed        int64
+	// Workers caps the tree-training pool: 1 is serial, anything else
+	// resolves to NumCPU. The trained forest is identical for every
+	// setting — each tree derives its RNG from Seed and its own index,
+	// never from scheduling — so Workers is purely a throughput knob.
+	Workers int
 }
 
 // Defaults fills unset fields.
@@ -44,27 +61,57 @@ func (c ForestConfig) Defaults(numFeatures int) ForestConfig {
 	return c
 }
 
-// node is one tree node in the flattened representation.
-type node struct {
-	feature   int32   // split feature; -1 for leaves
-	threshold float64 // go left if x[feature] <= threshold
-	left      int32
-	right     int32
-	prob      float64 // leaf probability of class 1
-}
-
-type tree struct {
-	nodes []node
-}
-
-// Forest is a trained random forest.
+// Forest is a trained random forest in a flattened structure-of-arrays
+// layout: all trees' nodes live in five parallel arrays, each tree
+// occupying one contiguous node range rooted at roots[t]. Leaves carry
+// feature == -1; interior nodes route x[feature] <= threshold to left,
+// else right (both absolute node indices). Each tree is laid out in
+// preorder, so the upper levels every walk traverses sit packed at the
+// front of the tree's range and stay cache-hot across consecutive
+// predictions.
 type Forest struct {
-	trees       []tree
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	prob      []float64 // leaf probability of class 1
+	roots     []int32   // root node index per tree, in tree order
+
 	numFeatures int
 	importance  []float64 // accumulated Gini gain per feature
+
+	// Kernel mirror of the node arrays for the batch predictors
+	// (batch.go): one packed record per node (see knode) so a walk step
+	// issues a single bounds check and touches one or two cache lines
+	// instead of one per array. Derived once at flatten time; prob is
+	// shared with the scalar walk.
+	knodes []knode
+}
+
+// splitmix64 is the SplitMix64 finalizer — the standard way to spread a
+// structured seed (here Seed ⊕ treeIndex) into an uncorrelated stream
+// seed per tree.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// treeSeed derives tree t's private RNG seed from the forest seed. The
+// forest seed is pre-mixed before the tree index is XORed in: a raw
+// seed ⊕ t would make (seed=1, t=0) and (seed=0, t=1) share a stream,
+// i.e. nearby forest seeds would train overlapping tree sets.
+func treeSeed(seed int64, t int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(t)))
 }
 
 // TrainForest fits a forest on X (rows = samples) and binary labels y.
+// Trees are trained concurrently (cfg.Workers) but the result is a pure
+// function of (X, y, cfg minus Workers): tree t draws its bootstrap and
+// feature subsets from a sub-RNG seeded by splitmix64(Seed ⊕ t), and
+// per-tree importance vectors are merged in tree order after the
+// training barrier.
 func TrainForest(X [][]float64, y []int, cfg ForestConfig) (*Forest, error) {
 	if len(X) == 0 || len(X) != len(y) {
 		return nil, fmt.Errorf("mlearn: bad training set: %d rows, %d labels", len(X), len(y))
@@ -81,118 +128,87 @@ func TrainForest(X [][]float64, y []int, cfg ForestConfig) (*Forest, error) {
 		}
 	}
 	cfg = cfg.Defaults(d)
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	f := &Forest{numFeatures: d, importance: make([]float64, d)}
 	nFeat := int(math.Max(1, math.Round(cfg.FeatureFrac*float64(d))))
 
-	for t := 0; t < cfg.NumTrees; t++ {
-		// Bootstrap sample.
-		idx := make([]int, len(X))
-		for i := range idx {
-			idx[i] = rng.Intn(len(X))
-		}
-		tr := tree{}
-		b := &treeBuilder{
-			X: X, y: y, cfg: cfg, rng: rng, nFeat: nFeat, imp: f.importance,
-		}
-		b.build(&tr, idx, 0)
-		f.trees = append(f.trees, tr)
+	cs := newColset(X)
+	type treeOut struct {
+		tr  tree
+		imp []float64
 	}
+	outs := parallel.Map(parallel.Resolve(cfg.Workers), cfg.NumTrees, func(t int) treeOut {
+		rng := rand.New(rand.NewSource(treeSeed(cfg.Seed, t)))
+		b := getTreeBuilder(cs, y, cfg, nFeat)
+		tr, imp := b.train(rng)
+		putTreeBuilder(b)
+		return treeOut{tr, imp}
+	})
+
+	f := &Forest{numFeatures: d, importance: make([]float64, d)}
+	total := 0
+	for _, o := range outs {
+		total += len(o.tr.feature)
+	}
+	f.feature = make([]int32, 0, total)
+	f.threshold = make([]float64, 0, total)
+	f.left = make([]int32, 0, total)
+	f.right = make([]int32, 0, total)
+	f.prob = make([]float64, 0, total)
+	f.roots = make([]int32, 0, len(outs))
+	for _, o := range outs {
+		// Rebase the tree's local child indices onto the flat arrays.
+		base := int32(len(f.feature))
+		f.roots = append(f.roots, base)
+		f.feature = append(f.feature, o.tr.feature...)
+		f.threshold = append(f.threshold, o.tr.threshold...)
+		f.prob = append(f.prob, o.tr.prob...)
+		for i := range o.tr.left {
+			f.left = append(f.left, o.tr.left[i]+base)
+			f.right = append(f.right, o.tr.right[i]+base)
+		}
+		// Importances merge serially in tree order: float addition is
+		// not associative, so a scheduling-dependent order would break
+		// worker-count invariance.
+		for j, v := range o.imp {
+			f.importance[j] += v
+		}
+	}
+	f.buildKernel()
 	return f, nil
 }
 
-type treeBuilder struct {
-	X     [][]float64
-	y     []int
-	cfg   ForestConfig
-	rng   *rand.Rand
-	nFeat int
-	imp   []float64
+// knode is the batch kernel's packed node: split value, both children
+// in one word (left in the low half, right in the high half — the pair
+// loads as soon as the node index is known, before the comparison
+// resolves), and the split feature (negative marks a leaf). One knode
+// is 1–2 cache lines and one bounds check per walk step, versus four
+// separate node-array loads on the scalar path.
+type knode struct {
+	val   float64
+	child uint64
+	feat  int32
 }
 
-// build grows a subtree over the sample indexes and returns its node
-// index in tr.nodes.
-func (b *treeBuilder) build(tr *tree, idx []int, depth int) int32 {
-	pos := 0
-	for _, i := range idx {
-		pos += b.y[i]
-	}
-	prob := float64(pos) / float64(len(idx))
-	me := int32(len(tr.nodes))
-	tr.nodes = append(tr.nodes, node{feature: -1, prob: prob})
-
-	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf || pos == 0 || pos == len(idx) {
-		return me
-	}
-	feat, thr, gain, ok := b.bestSplit(idx)
-	if !ok {
-		return me
-	}
-	b.imp[feat] += gain * float64(len(idx))
-	var left, right []int
-	for _, i := range idx {
-		if b.X[i][feat] <= thr {
-			left = append(left, i)
+// buildKernel derives the batch-predictor mirror of the node arrays:
+// one packed knode per node, leaves marked by a negative feature (their
+// children self-loop as a safety net, so even a walk that ignores the
+// sentinel stays in bounds).
+func (f *Forest) buildKernel() {
+	n := len(f.feature)
+	f.knodes = make([]knode, n)
+	for i := 0; i < n; i++ {
+		if f.feature[i] >= 0 {
+			f.knodes[i] = knode{
+				val:   f.threshold[i],
+				child: uint64(uint32(f.left[i])) | uint64(uint32(f.right[i]))<<32,
+				feat:  f.feature[i],
+			}
 		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
-		return me
-	}
-	l := b.build(tr, left, depth+1)
-	r := b.build(tr, right, depth+1)
-	tr.nodes[me] = node{feature: int32(feat), threshold: thr, left: l, right: r, prob: prob}
-	return me
-}
-
-// bestSplit finds the Gini-optimal (feature, threshold) among a random
-// feature subset, returning the impurity gain for importance tracking.
-func (b *treeBuilder) bestSplit(idx []int) (feature int, threshold float64, gain float64, ok bool) {
-	d := len(b.X[0])
-	feats := b.rng.Perm(d)[:b.nFeat]
-
-	bestGain := 0.0
-	type fv struct {
-		v float64
-		y int
-	}
-	vals := make([]fv, len(idx))
-	// Parent impurity.
-	pos := 0
-	for _, i := range idx {
-		pos += b.y[i]
-	}
-	n := float64(len(idx))
-	p := float64(pos) / n
-	parentGini := 2 * p * (1 - p)
-
-	for _, f := range feats {
-		for k, i := range idx {
-			vals[k] = fv{b.X[i][f], b.y[i]}
-		}
-		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
-		leftPos, leftN := 0, 0
-		for k := 0; k < len(vals)-1; k++ {
-			leftPos += vals[k].y
-			leftN++
-			if vals[k].v == vals[k+1].v {
-				continue // cannot split between equal values
-			}
-			rightPos := pos - leftPos
-			rightN := len(vals) - leftN
-			pl := float64(leftPos) / float64(leftN)
-			pr := float64(rightPos) / float64(rightN)
-			gini := (float64(leftN)*2*pl*(1-pl) + float64(rightN)*2*pr*(1-pr)) / n
-			if g := parentGini - gini; g > bestGain {
-				bestGain = g
-				feature = f
-				threshold = (vals[k].v + vals[k+1].v) / 2
-				ok = true
+			f.knodes[i] = knode{
+				child: uint64(uint32(i)) | uint64(uint32(i))<<32,
+				feat:  -1,
 			}
 		}
 	}
-	return feature, threshold, bestGain, ok
 }
 
 // Importances returns the per-feature Gini importance, normalized to
@@ -212,16 +228,29 @@ func (f *Forest) Importances() []float64 {
 	return out
 }
 
+// predictTree walks one tree (by root node index) for a single vector.
+func (f *Forest) predictTree(root int32, x []float64) float64 {
+	i := root
+	for f.feature[i] >= 0 {
+		if x[f.feature[i]] <= f.threshold[i] {
+			i = f.left[i]
+		} else {
+			i = f.right[i]
+		}
+	}
+	return f.prob[i]
+}
+
 // PredictProba returns the forest-averaged probability of class 1.
 func (f *Forest) PredictProba(x []float64) float64 {
 	if len(x) != f.numFeatures {
 		return math.NaN()
 	}
 	sum := 0.0
-	for _, tr := range f.trees {
-		sum += tr.predict(x)
+	for _, root := range f.roots {
+		sum += f.predictTree(root, x)
 	}
-	return sum / float64(len(f.trees))
+	return sum / float64(len(f.roots))
 }
 
 // PredictProbaAtLeast evaluates trees until the forest-averaged
@@ -238,11 +267,11 @@ func (f *Forest) PredictProbaAtLeast(x []float64, threshold float64) (p float64,
 	if len(x) != f.numFeatures {
 		return math.NaN(), false
 	}
-	n := len(f.trees)
+	n := len(f.roots)
 	need := threshold * float64(n)
 	sum := 0.0
-	for i, tr := range f.trees {
-		sum += tr.predict(x)
+	for i, root := range f.roots {
+		sum += f.predictTree(root, x)
 		if sum+float64(n-1-i) < need {
 			return 0, false
 		}
@@ -260,19 +289,10 @@ func (f *Forest) Predict(x []float64) int {
 }
 
 // NumTrees returns the ensemble size.
-func (f *Forest) NumTrees() int { return len(f.trees) }
+func (f *Forest) NumTrees() int { return len(f.roots) }
 
-func (t *tree) predict(x []float64) float64 {
-	i := int32(0)
-	for {
-		nd := t.nodes[i]
-		if nd.feature < 0 {
-			return nd.prob
-		}
-		if x[nd.feature] <= nd.threshold {
-			i = nd.left
-		} else {
-			i = nd.right
-		}
-	}
-}
+// NumFeatures returns the trained dimensionality.
+func (f *Forest) NumFeatures() int { return f.numFeatures }
+
+// NumNodes returns the total node count across all trees.
+func (f *Forest) NumNodes() int { return len(f.feature) }

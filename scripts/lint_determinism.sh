@@ -1,16 +1,18 @@
 #!/bin/sh
 # lint_determinism.sh — fail if nondeterminism sneaks into the
 # simulation packages. The paper-reproduction path (internal/population,
-# internal/canvas) must be a pure function of the seed: any call to
-# time.Now, the global math/rand functions (which draw from a shared,
-# unseeded source), or a stray JS-style Date.now breaks replayability
-# of every figure and golden file.
+# internal/canvas) must be a pure function of the seed, and the forest
+# trainer (internal/mlearn) must stay worker-count invariant — a pure
+# function of (data, config): any call to time.Now, the global
+# math/rand functions (which draw from a shared, unseeded source), or a
+# stray JS-style Date.now breaks replayability of every figure, golden
+# file and trained model.
 #
 # Test files are exempt: they may time things or exercise randomness.
 set -u
 
 fail=0
-for dir in internal/population internal/canvas; do
+for dir in internal/population internal/canvas internal/mlearn; do
     for f in "$dir"/*.go; do
         case "$f" in
         *_test.go) continue ;;
