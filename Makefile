@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest chaos
+.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest chaos
 
 ## check: the full gate — build, vet, determinism lint, and the
 ## race-enabled test suite. The worker-pool primitives behind the
@@ -67,3 +67,11 @@ bench-pipeline:
 ## overrides the default 2500-user world.
 bench-forest:
 	BENCH_FOREST_OUT=BENCH_forest.json $(GO) test -run TestEmitForestBench -v -timeout 30m .
+
+## bench-ingest: the collection-path snapshot (BENCH_ingest.json):
+## accepted records/sec and per-record ACK p50/p99 across 1/4/8 shards
+## × newline-JSON vs batched-binary framing, every cell at
+## fsync=always. BENCH_INGEST_RECORDS overrides the default 6000
+## records per cell.
+bench-ingest:
+	BENCH_INGEST_OUT=BENCH_ingest.json $(GO) test -run TestEmitIngestBench -v -timeout 30m .

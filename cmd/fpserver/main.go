@@ -10,6 +10,17 @@
 // The paper's deployment survived an eight-day outage because clients
 // kept retrying (§2.2); the WAL covers the server half of that story.
 //
+// With -shards N > 1 the store is partitioned by hash(UserID) into N
+// independent WALs under wal-dir/shard-NN/, recovered in parallel on
+// startup. The shard count is sticky per directory. -compact-every
+// periodically checkpoints live state into a snapshot and truncates
+// the replayed segments, bounding restart cost by live state rather
+// than log history.
+//
+// Clients negotiate length-prefixed CRC-framed binary requests via a
+// hello exchange; -framing json declines the upgrade and keeps every
+// connection on newline-JSON.
+//
 // On SIGINT/SIGTERM the server drains: it stops accepting, lets
 // in-flight submissions finish (-drain-timeout bounds the wait), runs
 // a final fsync, and snapshots the store to disk.
@@ -21,7 +32,7 @@
 //
 // Usage:
 //
-//	fpserver -addr 127.0.0.1:9400 -admin-addr 127.0.0.1:9401 -wal-dir wal/ -fsync always -o collected.jsonl
+//	fpserver -addr 127.0.0.1:9400 -admin-addr 127.0.0.1:9401 -wal-dir wal/ -shards 4 -fsync always -o collected.jsonl
 package main
 
 import (
@@ -41,6 +52,15 @@ import (
 	"fpdyn/internal/storage"
 )
 
+// backend is the store surface fpserver needs beyond what the
+// collector server consumes; both *storage.Store and
+// *storage.ShardedStore satisfy it.
+type backend interface {
+	collector.Backend
+	Len() int
+	SaveFile(path string) error
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9400", "listen address")
 	adminAddr := flag.String("admin-addr", "", "admin HTTP listener for /metrics, /varz, /healthz, /debug/pprof/ (empty disables)")
@@ -50,48 +70,98 @@ func main() {
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight submissions on shutdown")
+	shards := flag.Int("shards", 1, "number of store shards (>1 partitions the WAL into wal-dir/shard-NN/)")
+	framing := flag.String("framing", "binary", "wire framing the server will negotiate: binary | json")
+	compactEvery := flag.Duration("compact-every", 0, "WAL compaction period: snapshot live state, truncate replayed segments (0 disables)")
 	flag.Parse()
 
-	var store *storage.Store
-	var wal *storage.WAL
+	if *shards < 1 {
+		log.Fatalf("fpserver: -shards must be >= 1, got %d", *shards)
+	}
+	disableBinary := false
+	switch *framing {
+	case "binary":
+	case "json":
+		disableBinary = true
+	default:
+		log.Fatalf("fpserver: unknown -framing %q (want binary or json)", *framing)
+	}
+
+	var store backend
+	var walErr func() error // nil when no WAL
+	var walRegs []*obs.Registry
+	var compact func() (storage.CompactionStats, error)
+	var closeWALs func() error
 	if *walDir != "" {
 		policy, err := storage.ParseSyncPolicy(*fsyncMode)
 		if err != nil {
 			log.Fatalf("fpserver: %v", err)
 		}
-		var stats storage.RecoveryStats
-		store, wal, stats, err = storage.Recover(storage.WALOptions{
+		walOpts := storage.WALOptions{
 			Dir:      *walDir,
 			Policy:   policy,
 			Interval: *fsyncEvery,
-		})
-		if err != nil {
-			log.Fatalf("fpserver: wal recovery: %v", err)
+		}
+		var stats storage.RecoveryStats
+		if *shards == 1 {
+			// Single-shard keeps the legacy flat wal-dir layout so
+			// existing deployments reopen their logs unchanged.
+			st, wal, rstats, err := storage.Recover(walOpts)
+			if err != nil {
+				log.Fatalf("fpserver: wal recovery: %v", err)
+			}
+			stats = rstats
+			store = st
+			walErr = wal.Err
+			walRegs = []*obs.Registry{wal.Metrics()}
+			compact = st.Compact
+			closeWALs = wal.Close
+		} else {
+			walOpts.Registry = obs.NewRegistry()
+			ss, sstats, err := storage.RecoverSharded(storage.ShardedWALOptions{
+				WALOptions: walOpts,
+				Shards:     *shards,
+			})
+			if err != nil {
+				log.Fatalf("fpserver: wal recovery: %v", err)
+			}
+			stats = sstats.RecoveryStats
+			store = ss
+			walErr = ss.WALError
+			walRegs = []*obs.Registry{walOpts.Registry}
+			compact = ss.Compact
+			closeWALs = ss.CloseWALs
 		}
 		banner := fmt.Sprintf("wal recovery: %d records, %d values replayed from %d segments",
 			stats.Records, stats.Values, stats.Segments)
+		if stats.SnapshotRecords > 0 || stats.SnapshotValues > 0 {
+			banner += fmt.Sprintf(" + snapshot (%d records, %d values)",
+				stats.SnapshotRecords, stats.SnapshotValues)
+		}
 		if stats.Truncated {
 			banner += fmt.Sprintf(" (torn tail: %d bytes truncated)", stats.TruncatedBytes)
 		}
 		fmt.Println(banner)
-		fmt.Printf("wal: dir=%s fsync=%s\n", *walDir, policy)
+		fmt.Printf("wal: dir=%s shards=%d fsync=%s\n", *walDir, *shards, policy)
 	} else {
-		store = storage.NewStore()
+		if *shards == 1 {
+			store = storage.NewStore()
+		} else {
+			store = storage.NewShardedStore(*shards)
+		}
 		fmt.Println("warning: no -wal-dir; accepted records do not survive a crash")
 	}
 	srv := collector.NewServer(store)
+	srv.DisableBinary = disableBinary
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("fpserver: %v", err)
 	}
-	fmt.Printf("fpserver listening on %s\n", lis.Addr())
+	fmt.Printf("fpserver listening on %s (framing=%s)\n", lis.Addr(), *framing)
 
 	if *adminAddr != "" {
-		regs := []*obs.Registry{srv.Metrics()}
-		if wal != nil {
-			regs = append(regs, wal.Metrics())
-		}
+		regs := append([]*obs.Registry{srv.Metrics()}, walRegs...)
 		regs = append(regs, obs.NewRuntimeRegistry())
 		health := func() obs.HealthStatus {
 			st := obs.HealthStatus{Healthy: true}
@@ -99,8 +169,8 @@ func main() {
 				st.Draining = true
 				st.Detail = "draining: refusing new connections"
 			}
-			if wal != nil {
-				if werr := wal.Err(); werr != nil {
+			if walErr != nil {
+				if werr := walErr(); werr != nil {
 					st.Healthy = false
 					st.WALError = werr.Error()
 				}
@@ -131,6 +201,23 @@ func main() {
 		}()
 	}
 
+	if *compactEvery > 0 {
+		if compact == nil {
+			log.Fatalf("fpserver: -compact-every requires -wal-dir")
+		}
+		go func() {
+			for range time.Tick(*compactEvery) {
+				cs, err := compact()
+				if err != nil {
+					log.Printf("fpserver: compaction: %v", err)
+					continue
+				}
+				fmt.Printf("compaction: snapshot %d records, %d values (%d bytes); %d segments removed\n",
+					cs.Records, cs.Values, cs.SnapshotBytes, cs.SegmentsRemoved)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -146,10 +233,10 @@ func main() {
 	if err := srv.Serve(lis); err != nil {
 		log.Fatalf("fpserver: %v", err)
 	}
-	if wal != nil {
+	if closeWALs != nil {
 		// Final fsync: everything accepted is on stable storage before
 		// the process exits.
-		if err := wal.Close(); err != nil {
+		if err := closeWALs(); err != nil {
 			log.Printf("fpserver: wal close: %v", err)
 		}
 	}

@@ -100,7 +100,10 @@ func TestAdminScrapeMatchesServerStats(t *testing.T) {
 	stats := srv.Stats()
 	for _, want := range []string{
 		"collector_records_accepted_total 4",
-		`collector_requests_total{verb="submit"} 4`,
+		// The resilient client negotiates binary framing and delivers
+		// each flush as a batch request.
+		`collector_requests_total{verb="batch"} 4`,
+		`collector_requests_total{verb="hello"} 1`,
 		"collector_request_seconds_count",
 		"wal_appends_total",
 		"wal_fsync_seconds_count",

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/storage"
 )
 
 // Browser is the surface the collection client's task manager probes.
@@ -192,11 +194,20 @@ func (g *group) Wait() error {
 }
 
 // Client is the transfer module: it submits collected records over one
-// TCP connection using the hash-dedup protocol.
+// TCP connection using the hash-dedup protocol. A client starts in
+// newline-JSON framing; Negotiate can switch the connection to binary
+// frames.
 type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+
+	// binary framing state, set by Negotiate: br reads frames starting
+	// with whatever the JSON decoder had buffered, wbuf is the reused
+	// outbound frame.
+	binary bool
+	br     *bufio.Reader
+	wbuf   []byte
 
 	bytesSent atomic.Int64
 	submitted atomic.Int64
@@ -231,19 +242,98 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// roundTrip sends one request and reads one response.
+// roundTrip sends one request and reads one response in whichever
+// framing the connection is in.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("collector: send: %w", err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("collector: recv: %w", err)
+	resp, err := c.exchange(req)
+	if err != nil {
+		return nil, err
 	}
 	if resp.Type == TypeError {
 		return nil, fmt.Errorf("collector: server error: %s", resp.Error)
 	}
+	return resp, nil
+}
+
+// exchange performs one request/response cycle without interpreting
+// TypeError — Negotiate needs the raw reply to fall back gracefully.
+func (c *Client) exchange(req *Request) (*Response, error) {
+	var resp Response
+	if c.binary {
+		payload, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("collector: send: %w", err)
+		}
+		c.wbuf = storage.AppendFrame(c.wbuf[:0], payload)
+		if _, err := c.conn.Write(c.wbuf); err != nil {
+			return nil, fmt.Errorf("collector: send: %w", err)
+		}
+		c.bytesSent.Add(int64(len(c.wbuf)))
+		reply, err := storage.ReadFrame(c.br, 0)
+		if err != nil {
+			return nil, fmt.Errorf("collector: recv: %w", err)
+		}
+		if err := json.Unmarshal(reply, &resp); err != nil {
+			return nil, fmt.Errorf("collector: recv: %w", err)
+		}
+		return &resp, nil
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("collector: send: %w", err)
+	}
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("collector: recv: %w", err)
+	}
 	return &resp, nil
+}
+
+// Negotiate asks the server to switch the connection to binary
+// framing and returns the framing now in effect. A legacy server
+// answers hello with an error; the client stays on newline-JSON and
+// keeps working, so Negotiate is safe to call against any server.
+// Call it once, before submissions, from the goroutine that owns the
+// client.
+func (c *Client) Negotiate() (string, error) {
+	if c.binary {
+		return FramingBinary, nil
+	}
+	resp, err := c.exchange(&Request{Type: TypeHello, Framing: FramingBinary})
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case resp.Type == TypeHello && resp.Framing == FramingBinary:
+		// The switch takes effect after the hello reply. The JSON
+		// decoder may have read ahead past that reply; hand its
+		// buffered remainder to the frame reader so no bytes are lost.
+		br := bufio.NewReader(io.MultiReader(c.dec.Buffered(), c.conn))
+		// The reply line's '\n' terminator is not part of the JSON
+		// value, so the decoder leaves it unread; consume it here or
+		// it would shift every binary frame header by one byte.
+		switch b, err := br.ReadByte(); {
+		case err != nil:
+			return "", fmt.Errorf("collector: hello terminator: %w", err)
+		case b != '\n':
+			return "", fmt.Errorf("collector: unexpected byte %q after hello reply", b)
+		}
+		c.binary = true
+		c.br = br
+		return FramingBinary, nil
+	case resp.Type == TypeHello || resp.Type == TypeError:
+		// Declined, or a legacy server that does not know hello at
+		// all: stay on JSON.
+		return FramingJSON, nil
+	default:
+		return "", fmt.Errorf("collector: unexpected hello reply %q", resp.Type)
+	}
+}
+
+// Framing returns the framing mode the connection is currently in.
+func (c *Client) Framing() string {
+	if c.binary {
+		return FramingBinary
+	}
+	return FramingJSON
 }
 
 // Ping verifies the connection.
@@ -295,6 +385,77 @@ func (c *Client) SubmitSeq(rec *fingerprint.Record, clientID string, seq uint64)
 	}
 	c.submitted.Add(1)
 	return resp.Index, resp.Dup, nil
+}
+
+// BatchRecord pairs a record with its client-assigned sequence number
+// for SubmitBatch.
+type BatchRecord struct {
+	Rec *fingerprint.Record
+	Seq uint64
+}
+
+// SubmitBatch transfers many records in two round trips: one hash
+// check covering every dedupable value in the batch, then one batch
+// request carrying all records plus only the missing blobs. The
+// returned acks parallel the batch prefix the server processed: a
+// short list (or one whose last entry has a non-empty Error) means the
+// remaining records were never attempted and should stay buffered.
+// Records must be in seq order. Works in either framing mode — the
+// win from binary framing is that the whole batch is one frame instead
+// of one syscall-sized line per round trip.
+func (c *Client) SubmitBatch(batch []BatchRecord, clientID string) ([]Ack, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	items := make([]BatchItem, len(batch))
+	blobs := make(map[string][]byte)
+	hashes := make([]string, 0, len(batch)*len(DedupFields))
+	for i, b := range batch {
+		wire, refs, bl := StripRecord(b.Rec)
+		items[i] = BatchItem{Record: wire, Refs: refs, Seq: b.Seq}
+		for h, v := range bl {
+			if _, ok := blobs[h]; !ok {
+				blobs[h] = v
+				hashes = append(hashes, h)
+			}
+		}
+	}
+	resp, err := c.roundTrip(&Request{Type: TypeCheck, Hashes: hashes})
+	if err != nil {
+		return nil, err
+	}
+	need := make(map[string]bool, len(resp.Hashes))
+	for _, h := range resp.Hashes {
+		need[h] = true
+	}
+	// Attach each missing blob to the first item referencing it; the
+	// server applies values before the item's append, and items are
+	// processed in order, so later references resolve from the store.
+	attached := make(map[string]bool, len(need))
+	for i := range items {
+		for _, h := range items[i].Refs {
+			if need[h] && !attached[h] {
+				if items[i].Values == nil {
+					items[i].Values = make(map[string][]byte)
+				}
+				items[i].Values[h] = blobs[h]
+				attached[h] = true
+			}
+		}
+	}
+	resp, err = c.roundTrip(&Request{Type: TypeBatch, Batch: items, ClientID: clientID})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != TypeOK {
+		return nil, fmt.Errorf("collector: unexpected batch reply %q", resp.Type)
+	}
+	for _, a := range resp.Acks {
+		if a.Error == "" {
+			c.submitted.Add(1)
+		}
+	}
+	return resp.Acks, nil
 }
 
 // SubmitRaw transfers one record without dedup (the ablation baseline:

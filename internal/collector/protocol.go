@@ -22,12 +22,50 @@ const (
 	TypeCheck  = "check"  // client → server: which of these value hashes do you have?
 	TypeSubmit = "submit" // client → server: a record plus any values you were missing
 	TypePing   = "ping"   // client → server: liveness probe
+	TypeHello  = "hello"  // client → server: framing negotiation
+	TypeBatch  = "batch"  // client → server: many submits in one frame
 
 	TypeNeed  = "need"  // server → client: the hashes it does not have
 	TypeOK    = "ok"    // server → client: record accepted
 	TypePong  = "pong"  // server → client: liveness reply
 	TypeError = "error" // server → client: request rejected
 )
+
+// Framing modes a hello exchange can negotiate. The connection starts
+// in newline-JSON; when client and server agree on binary, both sides
+// switch — after the hello response — to CRC-32C length-prefixed
+// frames (storage.AppendFrame/ReadFrame) carrying the same JSON
+// payloads. A legacy server answers hello with TypeError and the
+// client simply stays on JSON, so new clients interoperate with old
+// servers and vice versa.
+const (
+	FramingJSON   = "json"
+	FramingBinary = "binary"
+)
+
+// BatchItem is one submit inside a TypeBatch request. The batch shares
+// one ClientID (on the Request); each item carries its own sequence
+// number and any value blobs the server was missing.
+type BatchItem struct {
+	Record *fingerprint.Record `json:"record"`
+	Refs   map[string]string   `json:"refs,omitempty"`
+	Values map[string][]byte   `json:"values,omitempty"`
+	Seq    uint64              `json:"seq,omitempty"`
+}
+
+// Ack is one record's outcome inside a TypeBatch response. A non-empty
+// Error marks where the server stopped: the ack list is always a
+// prefix of the batch (plus at most one failed item), and nothing past
+// it was ACKed. Un-acked items may or may not have reached stable
+// storage (a group commit can fail after some shards committed); the
+// client retransmits them and the per-client sequence table turns any
+// that did land into dups — preserving the in-order idempotency
+// invariant either way.
+type Ack struct {
+	Index int    `json:"index"`
+	Dup   bool   `json:"dup,omitempty"`
+	Error string `json:"error,omitempty"`
+}
 
 // Request is a client→server message.
 type Request struct {
@@ -45,6 +83,11 @@ type Request struct {
 	// at most once. Empty ClientID opts out (legacy submits).
 	ClientID string `json:"cid,omitempty"`
 	Seq      uint64 `json:"seq,omitempty"`
+	// Framing is the framing mode a hello requests.
+	Framing string `json:"framing,omitempty"`
+	// Batch carries the submits of a TypeBatch request, in sequence
+	// order.
+	Batch []BatchItem `json:"batch,omitempty"`
 }
 
 // Response is a server→client message.
@@ -56,6 +99,10 @@ type Response struct {
 	// Dup marks an OK reply for a submit whose (ClientID, Seq) the
 	// server had already applied: the record was not appended again.
 	Dup bool `json:"dup,omitempty"`
+	// Framing is the framing mode a hello reply confirms.
+	Framing string `json:"framing,omitempty"`
+	// Acks are the per-record outcomes of a TypeBatch request.
+	Acks []Ack `json:"acks,omitempty"`
 }
 
 // Dedup field names: the list-valued features bulky enough to be worth

@@ -44,6 +44,16 @@ type ResilientClient struct {
 	// ClientID identifies this client in sequence IDs; NewResilientClient
 	// assigns a random one.
 	ClientID string
+	// BatchSize caps how many pending records one flush round trip
+	// carries (default 32). During an outage the queue grows; on
+	// reconnect the backlog drains BatchSize records per batch request
+	// instead of two round trips per record. 1 restores the per-record
+	// submit path.
+	BatchSize int
+	// DisableBinary skips the binary-framing negotiation on redial,
+	// pinning the connection to newline-JSON (the bench harness's
+	// control arm).
+	DisableBinary bool
 
 	// sendMu serializes flushers. Dial backoff sleeps hold only sendMu,
 	// never mu, so Submit buffering, Pending and Stats stay prompt
@@ -126,18 +136,27 @@ func (r *ResilientClient) Flush() error {
 }
 
 // flush delivers pending records in order until the queue is empty or
-// delivery fails. The buffered-count context is attached once, at the
-// point of return — not re-wrapped per record.
+// delivery fails, coalescing up to BatchSize records per round trip.
+// The buffered-count context is attached once, at the point of return
+// — not re-wrapped per record.
 func (r *ResilientClient) flush() error {
 	r.sendMu.Lock()
 	defer r.sendMu.Unlock()
+	size := r.batchSize()
 	for {
 		r.mu.Lock()
 		if len(r.pending) == 0 {
 			r.mu.Unlock()
 			return nil
 		}
-		head := r.pending[0]
+		n := len(r.pending)
+		if n > size {
+			n = size
+		}
+		batch := make([]BatchRecord, n)
+		for i := 0; i < n; i++ {
+			batch[i] = BatchRecord{Rec: r.pending[i].rec, Seq: r.pending[i].seq}
+		}
 		c := r.client
 		r.mu.Unlock()
 
@@ -153,11 +172,12 @@ func (r *ResilientClient) flush() error {
 			c = nc
 		}
 
-		_, dup, err := c.SubmitSeq(head.rec, r.ClientID, head.seq)
+		acks, err := r.deliver(c, batch)
 		if err != nil {
-			// The connection died mid-flight; the fate of head is
-			// ambiguous, but its sequence ID makes the retransmission
-			// exact, so keep it pending and let the next flush redial.
+			// The connection died mid-flight; the fate of the batch is
+			// ambiguous, but the sequence IDs make the retransmission
+			// exact, so keep everything pending and let the next flush
+			// redial.
 			c.Close()
 			r.mu.Lock()
 			if r.client == c {
@@ -166,18 +186,54 @@ func (r *ResilientClient) flush() error {
 			r.mu.Unlock()
 			return r.bufferedErr(err)
 		}
+		var itemErr string
 		r.mu.Lock()
-		// A concurrent Submit may have evicted head under BufferLimit;
-		// only pop it if it is still the queue front.
-		if len(r.pending) > 0 && r.pending[0].seq == head.seq {
-			r.pending = r.pending[1:]
-		}
-		r.stats.Sent++
-		if dup {
-			r.stats.Retransmits++
+		for i, a := range acks {
+			if a.Error != "" {
+				// The server stopped at this record; it and everything
+				// after stay pending, head-blocking like the per-record
+				// path.
+				itemErr = a.Error
+				break
+			}
+			// A concurrent Submit may have evicted it under BufferLimit;
+			// only pop if it is still the queue front.
+			if len(r.pending) > 0 && r.pending[0].seq == batch[i].Seq {
+				r.pending = r.pending[1:]
+			}
+			r.stats.Sent++
+			if a.Dup {
+				r.stats.Retransmits++
+			}
 		}
 		r.mu.Unlock()
+		if itemErr != "" {
+			return r.bufferedErr(fmt.Errorf("server rejected record: %s", itemErr))
+		}
 	}
+}
+
+// deliver sends one batch over c, using the per-record path when the
+// batch is a single record and batching is off.
+func (r *ResilientClient) deliver(c *Client, batch []BatchRecord) ([]Ack, error) {
+	if r.batchSize() == 1 {
+		_, dup, err := c.SubmitSeq(batch[0].Rec, r.ClientID, batch[0].Seq)
+		if err != nil {
+			return nil, err
+		}
+		return []Ack{{Dup: dup}}, nil
+	}
+	return c.SubmitBatch(batch, r.ClientID)
+}
+
+func (r *ResilientClient) batchSize() int {
+	if r.BatchSize == 1 {
+		return 1
+	}
+	if r.BatchSize <= 0 {
+		return 32
+	}
+	return r.BatchSize
 }
 
 // bufferedErr wraps a delivery error with the current backlog size.
@@ -221,6 +277,15 @@ func (r *ResilientClient) dial() (*Client, error) {
 			c.Close()
 			lastErr = err
 			continue
+		}
+		if !r.DisableBinary {
+			// Best-effort upgrade to binary framing; a legacy server
+			// declines and the connection keeps working over JSON.
+			if _, err := c.Negotiate(); err != nil {
+				c.Close()
+				lastErr = err
+				continue
+			}
 		}
 		return c, nil
 	}

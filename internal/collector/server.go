@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fpdyn/internal/fingerprint"
 	"fpdyn/internal/obs"
 	"fpdyn/internal/storage"
 )
@@ -26,12 +27,27 @@ const (
 	DefaultDrainGrace   = 500 * time.Millisecond
 )
 
+// Backend is the storage surface the server ingests into. Both
+// *storage.Store and *storage.ShardedStore satisfy it; the server
+// neither knows nor cares how the backend partitions data.
+type Backend interface {
+	HasValue(hash string) bool
+	Value(hash string) ([]byte, bool)
+	PutValueDurable(hash string, content []byte) error
+	AppendDurable(r *fingerprint.Record, clientID string, seq uint64) (idx int, dup bool, err error)
+	// AppendBatchDurable group-commits a batch of records: one WAL
+	// write+fsync per touched shard instead of one per record. An error
+	// means the batch must not be ACKed (the client retransmits; seq
+	// dedup absorbs any sub-batch that did land).
+	AppendBatchDurable(items []storage.BatchAppend, clientID string) ([]storage.BatchResult, error)
+}
+
 // Server is the data-storage server: it accepts collection connections,
 // answers dedup checks against its value store, and appends
 // reconstructed records to the backing store. When the store has a WAL
 // attached, a submit is ACKed only after the record is durable.
 type Server struct {
-	store *storage.Store
+	store Backend
 
 	// ReadTimeout bounds the wait for the next request on an idle
 	// connection; WriteTimeout bounds one response write. Slow or
@@ -46,6 +62,12 @@ type Server struct {
 	// DrainGrace is how long existing connections may finish in-flight
 	// requests after Shutdown begins.
 	DrainGrace time.Duration
+	// DisableBinary makes the server decline binary framing in hello
+	// exchanges, pinning every connection to newline-JSON. The bench
+	// harness uses it to measure the framing modes against the same
+	// server code; operators can use it to rule the binary path out
+	// when debugging.
+	DisableBinary bool
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -72,6 +94,8 @@ type serverMetrics struct {
 	requestsPing   *obs.Counter
 	requestsCheck  *obs.Counter
 	requestsSubmit *obs.Counter
+	requestsHello  *obs.Counter
+	requestsBatch  *obs.Counter
 	requestsOther  *obs.Counter
 	reqLatency     *obs.Histogram
 
@@ -93,6 +117,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		requestsPing:   reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypePing),
 		requestsCheck:  reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypeCheck),
 		requestsSubmit: reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypeSubmit),
+		requestsHello:  reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypeHello),
+		requestsBatch:  reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", TypeBatch),
 		requestsOther:  reg.Counter("collector_requests_total", "Requests handled, by protocol verb.", "verb", "other"),
 		reqLatency:     reg.Histogram("collector_request_seconds", "Request dispatch latency (decode excluded).", nil),
 
@@ -109,8 +135,9 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 	}
 }
 
-// NewServer creates a server over the given store.
-func NewServer(store *storage.Store) *Server {
+// NewServer creates a server over the given backend (a
+// *storage.Store or *storage.ShardedStore).
+func NewServer(store Backend) *Server {
 	return &Server{
 		store:   store,
 		conns:   make(map[net.Conn]struct{}),
@@ -344,56 +371,98 @@ func (cr countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// handle runs the request loop for one connection. The protocol is
-// newline-delimited JSON, so requests are framed with a line scanner
-// whose buffer cap is the max-frame guard: an oversized request is
-// rejected before it is slurped into memory.
-func (s *Server) handle(conn net.Conn) error {
-	sc := bufio.NewScanner(countingReader{conn, s.metrics.bytesReceived})
-	// The initial buffer must stay below MaxFrame: bufio caps tokens at
-	// the larger of the two, so a big initial buffer would defeat a
-	// small configured limit.
-	initial := 4 << 10
-	if mf := s.maxFrame(); mf < initial {
-		initial = mf
+// errFrameTooLong mirrors bufio.ErrTooLong for the reader-based line
+// framing below.
+var errFrameTooLong = errors.New("request frame too large")
+
+// readLine accumulates one newline-terminated request from br, bounded
+// by maxLine. Unlike bufio.Scanner it reads through a plain
+// *bufio.Reader, so bytes the reader has buffered past the line — the
+// first binary frame a pipelining client sent right behind its hello —
+// survive a mid-connection framing switch instead of being discarded
+// with the scanner.
+func readLine(br *bufio.Reader, maxLine int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > maxLine+1 { // +1: the delimiter is not payload
+			return nil, errFrameTooLong
+		}
+		switch {
+		case err == nil:
+			line = line[:len(line)-1] // strip '\n'
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			return line, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue // long line: keep accumulating
+		case errors.Is(err, io.EOF) && len(line) > 0:
+			return line, nil // final line without trailing newline
+		default:
+			return nil, err
+		}
 	}
-	sc.Buffer(make([]byte, initial), s.maxFrame())
+}
+
+// handle runs the request loop for one connection. A connection starts
+// in newline-JSON framing; a hello exchange may switch it to binary
+// frames (CRC-32C, length-prefixed — the WAL's frame format), in which
+// case the switch takes effect for the request after the hello on both
+// sides.
+func (s *Server) handle(conn net.Conn) error {
+	br := bufio.NewReader(countingReader{conn, s.metrics.bytesReceived})
 	enc := json.NewEncoder(conn)
+	binary := false
+	var wbuf []byte // reused binary response frame
 	for {
 		if !s.draining.Load() {
 			if rt := s.readTimeout(); rt > 0 {
 				conn.SetReadDeadline(time.Now().Add(rt))
 			}
 		}
-		if !sc.Scan() {
-			err := sc.Err()
+		var payload []byte
+		var err error
+		if binary {
+			payload, err = storage.ReadFrame(br, s.maxFrame())
+			if errors.Is(err, storage.ErrFrameSize) {
+				err = errFrameTooLong
+			}
+		} else {
+			payload, err = readLine(br, s.maxFrame())
+		}
+		if err != nil {
 			switch {
-			case err == nil:
+			case errors.Is(err, io.EOF):
 				return io.EOF
-			case errors.Is(err, bufio.ErrTooLong):
+			case errors.Is(err, errFrameTooLong):
 				// Best-effort rejection before hanging up.
 				s.metrics.framesRejected.Inc()
-				s.writeResponse(conn, enc, &Response{Type: TypeError, Error: "request exceeds frame limit"})
-				return errors.New("request frame too large")
+				s.writeResponse(conn, enc, binary, &wbuf, &Response{Type: TypeError, Error: "request exceeds frame limit"})
+				return errFrameTooLong
 			case s.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded):
 				return nil // drained: the connection went idle past the grace
 			default:
 				return err
 			}
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
+		if len(payload) == 0 {
 			continue
 		}
-		var resp *Response
 		var req Request
-		if err := json.Unmarshal(line, &req); err != nil {
-			s.writeResponse(conn, enc, &Response{Type: TypeError, Error: "malformed request"})
+		if err := json.Unmarshal(payload, &req); err != nil {
+			s.writeResponse(conn, enc, binary, &wbuf, &Response{Type: TypeError, Error: "malformed request"})
 			return err
 		}
-		resp = s.dispatch(&req)
-		if err := s.writeResponse(conn, enc, resp); err != nil {
+		resp := s.dispatch(&req)
+		if err := s.writeResponse(conn, enc, binary, &wbuf, resp); err != nil {
 			return err
+		}
+		if resp.Type == TypeHello && resp.Framing == FramingBinary {
+			// The hello reply itself went out in the old framing; both
+			// sides switch starting with the next message.
+			binary = true
 		}
 		// During a drain the loop keeps serving — a submission spans two
 		// round trips (check, then submit), so cutting after one response
@@ -402,11 +471,20 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 }
 
-func (s *Server) writeResponse(conn net.Conn, enc *json.Encoder, resp *Response) error {
+func (s *Server) writeResponse(conn net.Conn, enc *json.Encoder, binary bool, wbuf *[]byte, resp *Response) error {
 	if wt := s.writeTimeout(); wt > 0 {
 		conn.SetWriteDeadline(time.Now().Add(wt))
 	}
-	return enc.Encode(resp)
+	if !binary {
+		return enc.Encode(resp)
+	}
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	*wbuf = storage.AppendFrame((*wbuf)[:0], payload)
+	_, err = conn.Write(*wbuf)
+	return err
 }
 
 // dispatch processes one request, counting it by verb and timing it
@@ -421,6 +499,10 @@ func (s *Server) dispatch(req *Request) *Response {
 		s.metrics.requestsCheck.Inc()
 	case TypeSubmit:
 		s.metrics.requestsSubmit.Inc()
+	case TypeHello:
+		s.metrics.requestsHello.Inc()
+	case TypeBatch:
+		s.metrics.requestsBatch.Inc()
 	default:
 		s.metrics.requestsOther.Inc()
 	}
@@ -434,6 +516,67 @@ func (s *Server) dispatchInner(req *Request) *Response {
 	switch req.Type {
 	case TypePing:
 		return &Response{Type: TypePong}
+	case TypeHello:
+		f := FramingJSON
+		if req.Framing == FramingBinary && !s.DisableBinary {
+			f = FramingBinary
+		}
+		return &Response{Type: TypeHello, Framing: f}
+	case TypeBatch:
+		// Two phases. First walk the items in order, landing blobs and
+		// restoring records; a bad item stops the walk — items after it
+		// are not attempted, so the client's per-seq retransmission
+		// invariant (in order, head-blocking) holds within batches too.
+		// Then group-commit every restored record in one
+		// AppendBatchDurable call: one WAL write+fsync per touched
+		// shard, which is where batching beats per-record submits at
+		// fsync=always.
+		var itemErr string
+		items := make([]storage.BatchAppend, 0, len(req.Batch))
+		for i := range req.Batch {
+			it := &req.Batch[i]
+			if it.Record == nil || it.Record.FP == nil {
+				itemErr = "submit without record"
+				break
+			}
+			bad := false
+			for h, content := range it.Values {
+				if err := s.store.PutValueDurable(h, content); err != nil {
+					itemErr = "value not durable: " + err.Error()
+					bad = true
+					break
+				}
+				s.metrics.valuesReceived.Inc()
+			}
+			if bad {
+				break
+			}
+			rec, err := RestoreRecord(it.Record, it.Refs, s.store.Value)
+			if err != nil {
+				itemErr = err.Error()
+				break
+			}
+			items = append(items, storage.BatchAppend{Record: rec, Seq: it.Seq})
+		}
+		results, err := s.store.AppendBatchDurable(items, req.ClientID)
+		if err != nil {
+			// Nothing in the batch may be ACKed: one error ack at
+			// position 0 tells the client the server got nowhere.
+			return &Response{Type: TypeOK, Acks: []Ack{{Error: "record not durable: " + err.Error()}}}
+		}
+		acks := make([]Ack, 0, len(results)+1)
+		for _, r := range results {
+			if r.Dup {
+				s.metrics.recordsDuped.Inc()
+			} else {
+				s.metrics.recordsAccepted.Inc()
+			}
+			acks = append(acks, Ack{Index: r.Idx, Dup: r.Dup})
+		}
+		if itemErr != "" {
+			acks = append(acks, Ack{Error: itemErr})
+		}
+		return &Response{Type: TypeOK, Acks: acks}
 	case TypeCheck:
 		var missing []string
 		for _, h := range req.Hashes {

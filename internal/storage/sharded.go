@@ -1,0 +1,408 @@
+// Sharded storage: N independent stores, each with its own WAL
+// directory, partitioned by hash(UserID) for records and by content
+// hash for values. The paper's platform ingested 7.2M fingerprints
+// from ~1.5M users (§2.2); a single store serializes every append
+// behind one mutex and one fsync stream. Sharding multiplies both:
+// appends to different shards contend on nothing, and fsyncs spread
+// across N files.
+//
+// Routing by UserID keeps all of a user's records — and the relative
+// order the collector accepted them in — on one shard, which is what
+// makes a canonical serialization (users sorted, each user's records
+// in arrival order) invariant under the shard count. Values route by
+// their content hash: the hash-dedup check (§2.2.1) for a given hash
+// always lands on the shard that owns it.
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/parallel"
+)
+
+// shardsMetaName is the root-dir marker recording the shard count the
+// directory was created with. Reopening with a different count would
+// silently misroute every key, so Recover refuses instead.
+const shardsMetaName = "SHARDS"
+
+// shardDirName formats the per-shard WAL directory name.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// shardIndex routes a key to one of n shards via FNV-1a (stable across
+// processes and platforms, unlike Go's randomized map hash).
+func shardIndex(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ShardedWALOptions configures RecoverSharded. The embedded
+// WALOptions apply to every shard; Dir is the root directory under
+// which shard-NN subdirectories live. MetricLabels must be empty —
+// each shard gets its own ("shard", "NN") labels on the shared
+// registry.
+type ShardedWALOptions struct {
+	WALOptions
+	// Shards is the number of partitions (default 1). The count is
+	// sticky per directory: reopening an existing root with a
+	// different count is an error.
+	Shards int
+	// RecoveryWorkers bounds the goroutines replaying shards on
+	// recovery; <= 0 resolves to NumCPU. Replay order never affects
+	// the recovered state: shards are disjoint.
+	RecoveryWorkers int
+}
+
+func (o *ShardedWALOptions) shards() int {
+	if o.Shards <= 0 {
+		return 1
+	}
+	return o.Shards
+}
+
+// ShardedRecoveryStats merges per-shard recovery outcomes.
+type ShardedRecoveryStats struct {
+	RecoveryStats                 // totals across shards (Add semantics)
+	Shards        int             // shard count recovered
+	PerShard      []RecoveryStats // indexed by shard
+}
+
+// ShardedStore partitions records and values across independent
+// stores. Methods mirror Store's ingest surface so the collector
+// server can use either through the Backend interface.
+type ShardedStore struct {
+	stores []*Store
+}
+
+// NewShardedStore returns an in-memory sharded store (no WALs) with n
+// shards — the non-durable counterpart to NewStore, used by tests and
+// offline tooling.
+func NewShardedStore(n int) *ShardedStore {
+	if n <= 0 {
+		n = 1
+	}
+	ss := &ShardedStore{stores: make([]*Store, n)}
+	for i := range ss.stores {
+		ss.stores[i] = NewStore()
+	}
+	return ss
+}
+
+// checkShardsMeta enforces the sticky shard count: first open writes
+// the marker, later opens must match it.
+func checkShardsMeta(root string, n int) error {
+	path := filepath.Join(root, shardsMetaName)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		got, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr != nil {
+			return fmt.Errorf("storage: corrupt %s file: %q", shardsMetaName, data)
+		}
+		if got != n {
+			return fmt.Errorf("storage: wal root %s was created with %d shards, reopened with %d", root, got, n)
+		}
+		return nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("storage: read %s: %w", shardsMetaName, err)
+	}
+	if err := os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("storage: write %s: %w", shardsMetaName, err)
+	}
+	return fsyncDir(root)
+}
+
+// RecoverSharded replays every shard's WAL — in parallel — and
+// returns the recovered store with all shard WALs attached and
+// accepting appends. Shards are disjoint, so the recovered state is
+// identical for any worker count; the merged stats are accumulated in
+// shard order regardless of replay order.
+func RecoverSharded(opts ShardedWALOptions) (*ShardedStore, ShardedRecoveryStats, error) {
+	n := opts.shards()
+	var stats ShardedRecoveryStats
+	stats.Shards = n
+	stats.PerShard = make([]RecoveryStats, n)
+	if opts.Dir == "" {
+		return nil, stats, errors.New("storage: sharded recovery needs a root dir")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("storage: wal root: %w", err)
+	}
+	if err := checkShardsMeta(opts.Dir, n); err != nil {
+		return nil, stats, err
+	}
+
+	ss := &ShardedStore{stores: make([]*Store, n)}
+	errs := make([]error, n)
+	parallel.ForEach(parallel.Resolve(opts.RecoveryWorkers), n, func(i int) {
+		shardOpts := opts.WALOptions
+		shardOpts.Dir = filepath.Join(opts.Dir, shardDirName(i))
+		shardOpts.MetricLabels = append(append([]string(nil), opts.MetricLabels...),
+			"shard", fmt.Sprintf("%02d", i))
+		st, _, rstats, err := Recover(shardOpts)
+		if err != nil {
+			errs[i] = fmt.Errorf("storage: shard %d: %w", i, err)
+			return
+		}
+		ss.stores[i] = st
+		stats.PerShard[i] = rstats
+	})
+	for i, err := range errs {
+		if err != nil {
+			// Close the shards that did open so a partial recovery
+			// doesn't leak file handles and sync loops.
+			for _, st := range ss.stores {
+				if st != nil && st.WAL() != nil {
+					st.WAL().Close()
+				}
+			}
+			return nil, stats, errs[i]
+		}
+	}
+	for _, rs := range stats.PerShard {
+		stats.RecoveryStats.Add(rs)
+	}
+	return ss, stats, nil
+}
+
+// Shards returns the shard count.
+func (ss *ShardedStore) Shards() int { return len(ss.stores) }
+
+// Shard returns the i-th underlying store.
+func (ss *ShardedStore) Shard(i int) *Store { return ss.stores[i] }
+
+func (ss *ShardedStore) recordShard(userID string) *Store {
+	return ss.stores[shardIndex(userID, len(ss.stores))]
+}
+
+func (ss *ShardedStore) valueShard(hash string) *Store {
+	return ss.stores[shardIndex(hash, len(ss.stores))]
+}
+
+// AppendDurable routes the record to its user's shard. The per-shard
+// idempotency table sees a monotonic subsequence of each client's
+// sequence numbers — safe because the resilient client submits in seq
+// order and stops at the first failure, so a shard never sees seq k
+// after a higher seq from the same client was rejected.
+func (ss *ShardedStore) AppendDurable(r *fingerprint.Record, clientID string, seq uint64) (int, bool, error) {
+	return ss.recordShard(r.UserID).AppendDurable(r, clientID, seq)
+}
+
+// AppendBatchDurable splits the batch by owning shard — preserving
+// each shard's arrival order — and group-commits one sub-batch per
+// shard, so a batch costs one fsync per *touched shard* rather than
+// one per record. A shard failure aborts with an error; sub-batches on
+// earlier shards may already be durable, which is safe: the client
+// retransmits the whole batch and the per-shard idempotency tables
+// turn the replayed records into dups.
+func (ss *ShardedStore) AppendBatchDurable(items []BatchAppend, clientID string) ([]BatchResult, error) {
+	n := len(ss.stores)
+	if n == 1 {
+		return ss.stores[0].AppendBatchDurable(items, clientID)
+	}
+	perShard := make([][]BatchAppend, n)
+	perIdx := make([][]int, n)
+	for i, it := range items {
+		sh := shardIndex(it.Record.UserID, n)
+		perShard[sh] = append(perShard[sh], it)
+		perIdx[sh] = append(perIdx[sh], i)
+	}
+	results := make([]BatchResult, len(items))
+	for sh, sub := range perShard {
+		if len(sub) == 0 {
+			continue
+		}
+		res, err := ss.stores[sh].AppendBatchDurable(sub, clientID)
+		if err != nil {
+			return nil, fmt.Errorf("storage: shard %d: %w", sh, err)
+		}
+		for j, r := range res {
+			results[perIdx[sh][j]] = r
+		}
+	}
+	return results, nil
+}
+
+// Append routes a best-effort append to the record's user shard.
+func (ss *ShardedStore) Append(r *fingerprint.Record) int {
+	return ss.recordShard(r.UserID).Append(r)
+}
+
+// HasValue reports whether the owning shard holds hash.
+func (ss *ShardedStore) HasValue(hash string) bool {
+	return ss.valueShard(hash).HasValue(hash)
+}
+
+// Value returns the content stored under hash.
+func (ss *ShardedStore) Value(hash string) ([]byte, bool) {
+	return ss.valueShard(hash).Value(hash)
+}
+
+// PutValueDurable stores content on its owning shard.
+func (ss *ShardedStore) PutValueDurable(hash string, content []byte) error {
+	return ss.valueShard(hash).PutValueDurable(hash, content)
+}
+
+// PutValue stores content on its owning shard, best effort.
+func (ss *ShardedStore) PutValue(hash string, content []byte) {
+	ss.valueShard(hash).PutValue(hash, content)
+}
+
+// LastSeq returns the highest sequence ID applied for a client across
+// all shards.
+func (ss *ShardedStore) LastSeq(clientID string) (uint64, bool) {
+	var best uint64
+	found := false
+	for _, st := range ss.stores {
+		if seq, ok := st.LastSeq(clientID); ok {
+			found = true
+			if seq > best {
+				best = seq
+			}
+		}
+	}
+	return best, found
+}
+
+// Len returns the total record count across shards.
+func (ss *ShardedStore) Len() int {
+	n := 0
+	for _, st := range ss.stores {
+		n += st.Len()
+	}
+	return n
+}
+
+// NumValues returns the total distinct value count across shards.
+func (ss *ShardedStore) NumValues() int {
+	n := 0
+	for _, st := range ss.stores {
+		n += st.NumValues()
+	}
+	return n
+}
+
+// ByUser returns one user's records in arrival order (all on one
+// shard).
+func (ss *ShardedStore) ByUser(userID string) []*fingerprint.Record {
+	return ss.recordShard(userID).ByUser(userID)
+}
+
+// WriteTo serializes the sharded store in canonical order: values
+// sorted by hash across all shards, then users sorted by ID with each
+// user's records in arrival order. Because a user's records live on
+// exactly one shard, the output is byte-identical for any shard count
+// holding the same accepted data — the property the cross-shard chaos
+// digests assert. It implements io.WriterTo.
+func (ss *ShardedStore) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	enc := json.NewEncoder(bw)
+
+	var hashes []string
+	for _, st := range ss.stores {
+		st.mu.RLock()
+		hashes = append(hashes, st.sortedValueHashesLocked()...)
+		st.mu.RUnlock()
+	}
+	sort.Strings(hashes)
+	for _, h := range hashes {
+		v, _ := ss.Value(h)
+		if err := enc.Encode(snapshotLine{Hash: h, Value: v}); err != nil {
+			bw.Flush()
+			return cw.n, fmt.Errorf("storage: encode value: %w", err)
+		}
+	}
+
+	var users []string
+	for _, st := range ss.stores {
+		st.mu.RLock()
+		for u := range st.byUser {
+			users = append(users, u)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		for _, r := range ss.ByUser(u) {
+			if err := enc.Encode(snapshotLine{Record: r}); err != nil {
+				bw.Flush()
+				return cw.n, fmt.Errorf("storage: encode record: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// SaveFile writes the canonical serialization to path.
+func (ss *ShardedStore) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ss.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Compact checkpoints every shard (see Store.Compact) and merges the
+// stats. Shards compact independently and in parallel; a shard
+// failure aborts with its error but leaves other shards' snapshots in
+// place — compaction is idempotent, the next run covers them.
+func (ss *ShardedStore) Compact() (CompactionStats, error) {
+	n := len(ss.stores)
+	stats := make([]CompactionStats, n)
+	errs := make([]error, n)
+	parallel.ForEach(0, n, func(i int) {
+		stats[i], errs[i] = ss.stores[i].Compact()
+	})
+	var merged CompactionStats
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return merged, fmt.Errorf("storage: shard %d: %w", i, errs[i])
+		}
+		merged.Add(stats[i])
+	}
+	return merged, nil
+}
+
+// WALError returns the first sticky WAL error across shards, or nil.
+func (ss *ShardedStore) WALError() error {
+	for i, st := range ss.stores {
+		if w := st.WAL(); w != nil {
+			if err := w.Err(); err != nil {
+				return fmt.Errorf("storage: shard %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// CloseWALs closes every shard's WAL, returning the first error.
+func (ss *ShardedStore) CloseWALs() error {
+	var first error
+	for _, st := range ss.stores {
+		if w := st.WAL(); w != nil {
+			if err := w.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"fpdyn/internal/fingerprint"
@@ -35,6 +36,10 @@ type Store struct {
 	lastSeq map[string]uint64
 	lastIdx map[string]int // index appended for lastSeq[cid]
 	wal     *WAL           // optional write-ahead log
+
+	// compactMu serializes Compact runs without holding s.mu across the
+	// snapshot write.
+	compactMu sync.Mutex
 }
 
 // NewStore returns an empty store.
@@ -119,6 +124,71 @@ func (s *Store) AppendDurable(r *fingerprint.Record, clientID string, seq uint64
 		s.lastIdx[clientID] = idx
 	}
 	return idx, false, nil
+}
+
+// BatchAppend is one record of a group-committed batch append.
+type BatchAppend struct {
+	Record *fingerprint.Record
+	Seq    uint64
+}
+
+// BatchResult is the per-record outcome of AppendBatchDurable,
+// mirroring AppendDurable's (idx, dup) pair.
+type BatchResult struct {
+	Idx int
+	Dup bool
+}
+
+// AppendBatchDurable applies a batch of records from one client with a
+// single group commit: the fresh (non-duplicate) records are WAL-logged
+// in one write — one fsync under the always policy, however many
+// records the batch holds — then applied to the in-memory log in
+// order. Seqs must be monotonic within the batch (the wire protocol
+// guarantees it). On error nothing was applied and none of the batch
+// may be ACKed.
+func (s *Store) AppendBatchDurable(items []BatchAppend, clientID string) ([]BatchResult, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	results := make([]BatchResult, len(items))
+	fresh := make([]int, 0, len(items))
+	last := s.lastSeq[clientID]
+	for i, it := range items {
+		if clientID != "" && it.Seq <= last {
+			// Replay of an already-applied record (a retransmitted
+			// batch): ACK the original index when it is the latest
+			// applied seq, -1 for older ones — AppendDurable semantics.
+			results[i] = BatchResult{Idx: -1, Dup: true}
+			if it.Seq == s.lastSeq[clientID] {
+				results[i].Idx = s.lastIdx[clientID]
+			}
+			continue
+		}
+		fresh = append(fresh, i)
+		last = it.Seq
+	}
+	if s.wal != nil && len(fresh) > 0 {
+		recs := make([]*fingerprint.Record, len(fresh))
+		seqs := make([]uint64, len(fresh))
+		for j, i := range fresh {
+			recs[j] = items[i].Record
+			seqs[j] = items[i].Seq
+		}
+		if err := s.wal.AppendRecordBatch(recs, clientID, seqs); err != nil {
+			return nil, err
+		}
+	}
+	for _, i := range fresh {
+		idx := s.appendLocked(items[i].Record)
+		results[i] = BatchResult{Idx: idx}
+		if clientID != "" {
+			s.lastSeq[clientID] = items[i].Seq
+			s.lastIdx[clientID] = idx
+		}
+	}
+	return results, nil
 }
 
 // LastSeq returns the highest sequence ID applied for a client, with
@@ -248,41 +318,83 @@ type snapshotLine struct {
 	Value  []byte              `json:"val,omitempty"`
 }
 
-// WriteTo serializes the store as JSON lines: values first, then
-// records in insertion order. It implements io.WriterTo.
+// sortedValueHashesLocked returns the value hashes in lexical order so
+// every serialization of the same state is byte-identical. Callers
+// hold s.mu.
+func (s *Store) sortedValueHashesLocked() []string {
+	hashes := make([]string, 0, len(s.values))
+	for h := range s.values {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	return hashes
+}
+
+// countingWriter tracks bytes actually written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the store as JSON lines: values sorted by hash,
+// then records in insertion order. It implements io.WriterTo — the
+// returned count is the number of bytes written to w, and equal state
+// always serializes to identical bytes.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	bw := bufio.NewWriter(w)
-	var n int64
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	enc := json.NewEncoder(bw)
-	for hash, val := range s.values {
-		if err := enc.Encode(snapshotLine{Hash: hash, Value: val}); err != nil {
-			return n, fmt.Errorf("storage: encode value: %w", err)
+	for _, hash := range s.sortedValueHashesLocked() {
+		if err := enc.Encode(snapshotLine{Hash: hash, Value: s.values[hash]}); err != nil {
+			bw.Flush()
+			return cw.n, fmt.Errorf("storage: encode value: %w", err)
 		}
 	}
 	for _, r := range s.records {
 		if err := enc.Encode(snapshotLine{Record: r}); err != nil {
-			return n, fmt.Errorf("storage: encode record: %w", err)
+			bw.Flush()
+			return cw.n, fmt.Errorf("storage: encode record: %w", err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return n, err
+		return cw.n, err
 	}
-	return n, nil
+	return cw.n, nil
+}
+
+// countingReadFrom tracks bytes actually drawn from the source.
+type countingReadFrom struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReadFrom) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
 }
 
 // ReadFrom loads JSON lines produced by WriteTo into the store,
-// appending to current contents. It implements io.ReaderFrom.
+// appending to current contents. It implements io.ReaderFrom — the
+// returned count is the number of bytes read from r (on a clean EOF,
+// exactly the byte count the matching WriteTo returned).
 func (s *Store) ReadFrom(r io.Reader) (int64, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	var n int64
+	cr := &countingReadFrom{r: r}
+	dec := json.NewDecoder(bufio.NewReader(cr))
 	for {
 		var line snapshotLine
 		if err := dec.Decode(&line); err == io.EOF {
-			return n, nil
+			return cr.n, nil
 		} else if err != nil {
-			return n, fmt.Errorf("storage: decode: %w", err)
+			return cr.n, fmt.Errorf("storage: decode: %w", err)
 		}
 		switch {
 		case line.Record != nil:
@@ -290,7 +402,6 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 		case line.Hash != "":
 			s.PutValue(line.Hash, line.Value)
 		}
-		n++
 	}
 }
 

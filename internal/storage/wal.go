@@ -110,6 +110,10 @@ type WALOptions struct {
 	// bytes written, rotations, recovery counters). Nil allocates a
 	// private registry, reachable via WAL.Metrics.
 	Registry *obs.Registry
+	// MetricLabels are constant key/value label pairs attached to every
+	// metric this WAL registers. A sharded store passes ("shard", "NN")
+	// so all shards can share one registry without colliding.
+	MetricLabels []string
 }
 
 func (o *WALOptions) segmentSize() int64 {
@@ -140,15 +144,27 @@ func (o *WALOptions) openFile(path string) (SegmentFile, error) {
 	return os.Create(path)
 }
 
-// walEntry is the payload of one frame: exactly one of Record or Hash
-// is set. CID/Seq carry the client-assigned sequence ID alongside
-// record entries so recovery rebuilds the idempotency table.
+// walEntry is the payload of one frame: exactly one of Record, Hash or
+// Seqs is set. CID/Seq carry the client-assigned sequence ID alongside
+// record entries so recovery rebuilds the idempotency table. Seqs only
+// appears in compaction snapshots: the full per-client idempotency
+// table at the snapshot cut (log replay rebuilds it incrementally from
+// record entries instead).
 type walEntry struct {
 	Record *fingerprint.Record `json:"rec,omitempty"`
 	CID    string              `json:"cid,omitempty"`
 	Seq    uint64              `json:"seq,omitempty"`
 	Hash   string              `json:"hash,omitempty"`
 	Value  []byte              `json:"val,omitempty"`
+	Seqs   map[string]seqEntry `json:"seqs,omitempty"`
+}
+
+// seqEntry is one client's row of the idempotency table as persisted
+// in a snapshot: the highest applied sequence ID and the record index
+// it produced (so a post-recovery duplicate ACKs the original index).
+type seqEntry struct {
+	Seq uint64 `json:"seq"`
+	Idx int    `json:"idx"`
 }
 
 // Sentinel decode errors. ErrTornFrame marks an incomplete tail (the
@@ -197,34 +213,46 @@ type walMetrics struct {
 
 	appendSeconds *obs.Histogram
 	fsyncSeconds  *obs.Histogram
+	fsyncFailures *obs.Counter
 	bytesWritten  *obs.Counter
 	appends       *obs.Counter
 	rotations     *obs.Counter
 	stickyError   *obs.Gauge
 
+	compactions   *obs.Counter
+	snapshotBytes *obs.Gauge
+
 	recoveredRecords  *obs.Gauge
 	recoveredValues   *obs.Gauge
 	recoveredSegments *obs.Gauge
 	truncatedBytes    *obs.Gauge
+	snapshotRecords   *obs.Gauge
+	snapshotValues    *obs.Gauge
 }
 
-func newWALMetrics(reg *obs.Registry) walMetrics {
+func newWALMetrics(reg *obs.Registry, labels []string) walMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	return walMetrics{
 		reg:           reg,
-		appendSeconds: reg.Histogram("wal_append_seconds", "Latency of one framed append (fsync included under the always policy).", nil),
-		fsyncSeconds:  reg.Histogram("wal_fsync_seconds", "Latency of one segment fsync.", nil),
-		bytesWritten:  reg.Counter("wal_bytes_written_total", "Framed bytes written to segment files."),
-		appends:       reg.Counter("wal_appends_total", "Frames appended."),
-		rotations:     reg.Counter("wal_segment_rotations_total", "Segment files rotated out."),
-		stickyError:   reg.Gauge("wal_sticky_error", "1 after a write/fsync failure poisoned the log."),
+		appendSeconds: reg.Histogram("wal_append_seconds", "Latency of one framed append (fsync included under the always policy).", nil, labels...),
+		fsyncSeconds:  reg.Histogram("wal_fsync_seconds", "Latency of one segment fsync, successful or not.", nil, labels...),
+		fsyncFailures: reg.Counter("wal_fsync_failures_total", "Segment fsync calls that returned an error.", labels...),
+		bytesWritten:  reg.Counter("wal_bytes_written_total", "Framed bytes written to segment files.", labels...),
+		appends:       reg.Counter("wal_appends_total", "Frames appended.", labels...),
+		rotations:     reg.Counter("wal_segment_rotations_total", "Segment files rotated out.", labels...),
+		stickyError:   reg.Gauge("wal_sticky_error", "1 after a write/fsync failure poisoned the log.", labels...),
 
-		recoveredRecords:  reg.Gauge("wal_recovered_records", "Record entries replayed by the last Recover."),
-		recoveredValues:   reg.Gauge("wal_recovered_values", "Value entries replayed by the last Recover."),
-		recoveredSegments: reg.Gauge("wal_recovered_segments", "Segment files replayed by the last Recover."),
-		truncatedBytes:    reg.Gauge("wal_recovery_truncated_bytes", "Torn tail bytes truncated by the last Recover."),
+		compactions:   reg.Counter("wal_compactions_total", "Snapshot+truncate compactions completed.", labels...),
+		snapshotBytes: reg.Gauge("wal_snapshot_bytes", "Size of the last written compaction snapshot.", labels...),
+
+		recoveredRecords:  reg.Gauge("wal_recovered_records", "Record entries replayed from segments by the last Recover.", labels...),
+		recoveredValues:   reg.Gauge("wal_recovered_values", "Value entries replayed from segments by the last Recover.", labels...),
+		recoveredSegments: reg.Gauge("wal_recovered_segments", "Segment files replayed by the last Recover.", labels...),
+		truncatedBytes:    reg.Gauge("wal_recovery_truncated_bytes", "Torn tail bytes truncated by the last Recover.", labels...),
+		snapshotRecords:   reg.Gauge("wal_recovered_snapshot_records", "Records loaded from the compaction snapshot by the last Recover.", labels...),
+		snapshotValues:    reg.Gauge("wal_recovered_snapshot_values", "Values loaded from the compaction snapshot by the last Recover.", labels...),
 	}
 }
 
@@ -260,7 +288,7 @@ func OpenWAL(opts WALOptions) (*WAL, error) {
 }
 
 func openWALAt(opts WALOptions, seg int) (*WAL, error) {
-	w := &WAL{opts: opts, seg: seg - 1, metrics: newWALMetrics(opts.Registry)}
+	w := &WAL{opts: opts, seg: seg - 1, metrics: newWALMetrics(opts.Registry, opts.MetricLabels)}
 	if err := w.rotateLocked(); err != nil {
 		return nil, err
 	}
@@ -366,14 +394,8 @@ func (w *WAL) append(payload []byte) error {
 			return err
 		}
 	}
-	if cap(w.buf) < frame {
-		w.buf = make([]byte, frame)
-	}
-	buf := w.buf[:frame]
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
-	copy(buf[frameHeaderSize:], payload)
-	if _, err := w.f.Write(buf); err != nil {
+	w.buf = AppendFrame(w.buf[:0], payload)
+	if _, err := w.f.Write(w.buf); err != nil {
 		w.setErrLocked(err)
 		return fmt.Errorf("storage: wal write: %w", err)
 	}
@@ -390,16 +412,98 @@ func (w *WAL) append(payload []byte) error {
 	return nil
 }
 
+// AppendRecordBatch logs a batch of records as one group commit: every
+// frame goes down in a single Write and — under the always policy — a
+// single fsync covers the whole batch, amortizing the durability cost
+// N ways. seqs pairs with recs. On nil the entire batch is on stable
+// storage per policy; on error none of it may be ACKed (a multi-frame
+// write can tear mid-batch, but recovery truncates at the tear and the
+// client retransmits, so partial frames are indistinguishable from a
+// crash mid-single-append).
+func (w *WAL) AppendRecordBatch(recs []*fingerprint.Record, clientID string, seqs []uint64) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrWALClosed
+	}
+	if w.err != nil {
+		return fmt.Errorf("%w: %w", ErrWALSticky, w.err)
+	}
+	w.buf = w.buf[:0]
+	for i, r := range recs {
+		payload, err := json.Marshal(&walEntry{Record: r, CID: clientID, Seq: seqs[i]})
+		if err != nil {
+			return fmt.Errorf("storage: wal encode: %w", err)
+		}
+		if len(payload) > w.opts.maxFrame() {
+			return fmt.Errorf("%w: %d > %d bytes", ErrFrameSize, len(payload), w.opts.maxFrame())
+		}
+		w.buf = AppendFrame(w.buf, payload)
+	}
+	total := int64(len(w.buf))
+	if w.size > 0 && w.size+total > w.opts.segmentSize() {
+		if err := w.rotateLocked(); err != nil {
+			w.setErrLocked(err)
+			return err
+		}
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.setErrLocked(err)
+		return fmt.Errorf("storage: wal write: %w", err)
+	}
+	w.size += total
+	w.metrics.bytesWritten.Add(total)
+	w.metrics.appends.Add(int64(len(recs)))
+	if w.opts.Policy == SyncAlways {
+		if err := w.fsyncLocked(); err != nil {
+			w.setErrLocked(err)
+			return fmt.Errorf("storage: wal fsync: %w", err)
+		}
+	}
+	w.metrics.appendSeconds.ObserveDuration(time.Since(start))
+	return nil
+}
+
 // fsyncLocked syncs the active segment, timing it into the fsync
-// histogram. Callers hold w.mu and handle the sticky-error bookkeeping
-// themselves (rotation wraps the error differently from appends).
+// histogram. The latency is observed on success AND failure — the
+// slowest fsyncs are the stalling or failing ones, which is exactly
+// when an operator needs wal_fsync_seconds to be telling the truth —
+// and failures additionally bump wal_fsync_failures_total. Callers
+// hold w.mu and handle the sticky-error bookkeeping themselves
+// (rotation wraps the error differently from appends).
 func (w *WAL) fsyncLocked() error {
 	start := time.Now()
 	err := w.f.Sync()
-	if err == nil {
-		w.metrics.fsyncSeconds.ObserveDuration(time.Since(start))
+	w.metrics.fsyncSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		w.metrics.fsyncFailures.Inc()
 	}
 	return err
+}
+
+// Rotate forces a segment rotation: the active segment is synced,
+// closed, and a fresh one opened. It returns the new active segment
+// number; every segment numbered below it is closed and will never be
+// written again. Compaction rotates first so its snapshot covers a
+// frozen prefix of the log.
+func (w *WAL) Rotate() (active int, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	if w.err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrWALSticky, w.err)
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.setErrLocked(err)
+		return 0, err
+	}
+	return w.seg, nil
 }
 
 // Sync forces an fsync of the active segment.
@@ -518,21 +622,49 @@ func DecodeSegment(data []byte, maxFrame int, fn func(payload []byte) error) (in
 }
 
 // RecoveryStats summarizes a Recover run; cmd/fpserver logs it as the
-// startup banner.
+// startup banner. With compaction in play, Segments/Records/Values
+// count only what was replayed from segment files — the cost that
+// grows with activity since the last compaction — while the Snapshot*
+// fields count the live state loaded in one pass from the snapshot.
 type RecoveryStats struct {
-	Segments       int   // segment files replayed
-	Records        int   // record entries applied
-	Values         int   // value entries applied
+	Segments       int   // segment files replayed (excludes those covered by the snapshot)
+	Records        int   // record entries replayed from segments
+	Values         int   // value entries replayed from segments
 	TruncatedBytes int64 // torn tail bytes dropped from the last segment
 	Truncated      bool  // whether a torn tail was truncated
+
+	SnapshotSeg     int // highest segment the loaded snapshot covers (0 = no snapshot)
+	SnapshotRecords int // records loaded from the snapshot
+	SnapshotValues  int // values loaded from the snapshot
 }
 
-// Recover replays the WAL segments under opts.Dir into a fresh Store,
-// rebuilding the byUser/byCookie/value indexes and the per-client
-// sequence table, then attaches a new WAL (next segment number) to the
-// store so subsequent appends are durable. A torn frame at the tail of
-// the final segment is truncated from the file and dropped; corruption
-// anywhere else fails recovery.
+// Add merges other into s (the per-shard → fleet aggregation).
+func (s *RecoveryStats) Add(other RecoveryStats) {
+	s.Segments += other.Segments
+	s.Records += other.Records
+	s.Values += other.Values
+	s.TruncatedBytes += other.TruncatedBytes
+	s.Truncated = s.Truncated || other.Truncated
+	if other.SnapshotSeg > 0 {
+		s.SnapshotSeg = max(s.SnapshotSeg, other.SnapshotSeg)
+	}
+	s.SnapshotRecords += other.SnapshotRecords
+	s.SnapshotValues += other.SnapshotValues
+}
+
+// Recover rebuilds a Store from opts.Dir: it loads the newest
+// compaction snapshot (if one exists), replays only the WAL segments
+// the snapshot does not cover, rebuilds the byUser/byCookie/value
+// indexes and the per-client sequence table, then attaches a new WAL
+// (next segment number) to the store so subsequent appends are
+// durable. A torn frame at the tail of the final segment is truncated
+// from the file — and the truncation is fsynced through to the
+// directory, so a crash immediately after recovery cannot resurrect
+// the torn frame and fail the *next* recovery with what would then
+// look like mid-log corruption. Corruption anywhere else (including
+// inside a snapshot, which is written atomically and must be intact)
+// fails recovery. Segments and older snapshots made obsolete by the
+// loaded snapshot are deleted best-effort.
 func Recover(opts WALOptions) (*Store, *WAL, RecoveryStats, error) {
 	var stats RecoveryStats
 	if opts.Dir == "" {
@@ -545,8 +677,31 @@ func Recover(opts WALOptions) (*Store, *WAL, RecoveryStats, error) {
 	if err != nil {
 		return nil, nil, stats, err
 	}
+	snaps, err := listSnapshots(opts.Dir)
+	if err != nil {
+		return nil, nil, stats, err
+	}
 	st := NewStore()
-	for i, seg := range segs {
+	snapSeg := 0
+	if len(snaps) > 0 {
+		sn := snaps[len(snaps)-1]
+		var snapStats RecoveryStats
+		if err := loadSnapshot(filepath.Join(opts.Dir, sn.name), opts.maxFrame(), st, &snapStats); err != nil {
+			return nil, nil, stats, err
+		}
+		snapSeg = sn.n
+		stats.SnapshotSeg = sn.n
+		stats.SnapshotRecords = snapStats.Records
+		stats.SnapshotValues = snapStats.Values
+	}
+	live := segs[:0:0]
+	for _, seg := range segs {
+		if seg.n <= snapSeg {
+			continue // covered by the snapshot: already live state
+		}
+		live = append(live, seg)
+	}
+	for i, seg := range live {
 		path := filepath.Join(opts.Dir, seg.name)
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -562,14 +717,19 @@ func Recover(opts WALOptions) (*Store, *WAL, RecoveryStats, error) {
 		})
 		stats.Segments++
 		if derr != nil {
-			if i != len(segs)-1 {
+			if i != len(live)-1 {
 				return nil, nil, stats, fmt.Errorf("storage: wal segment %s corrupt at offset %d: %w", seg.name, validLen, derr)
 			}
 			// Torn tail of the live segment: the crash signature.
 			// Truncate the file so the next recovery is clean, keep
-			// everything before the tear.
+			// everything before the tear — and make the truncation
+			// itself durable (file then directory), or a crash here
+			// brings the torn bytes back.
 			if err := os.Truncate(path, validLen); err != nil {
 				return nil, nil, stats, fmt.Errorf("storage: wal truncate %s: %w", seg.name, err)
+			}
+			if err := syncFileAndDir(path); err != nil {
+				return nil, nil, stats, fmt.Errorf("storage: wal truncate sync %s: %w", seg.name, err)
 			}
 			stats.Truncated = true
 			stats.TruncatedBytes = int64(len(data)) - validLen
@@ -579,6 +739,15 @@ func Recover(opts WALOptions) (*Store, *WAL, RecoveryStats, error) {
 	if len(segs) > 0 {
 		next = segs[len(segs)-1].n + 1
 	}
+	// Segments can all be gone after compaction; new segment numbers
+	// must still stay above the snapshot's coverage or the next
+	// recovery would skip them.
+	if snapSeg+1 > next {
+		next = snapSeg + 1
+	}
+	// Drop files the snapshot made obsolete (segments it covers, older
+	// snapshots). Best-effort: a leftover is skipped next time anyway.
+	removeObsolete(opts.Dir, segs, snaps, snapSeg)
 	w, err := openWALAt(opts, next)
 	if err != nil {
 		return nil, nil, stats, err
@@ -589,19 +758,73 @@ func Recover(opts WALOptions) (*Store, *WAL, RecoveryStats, error) {
 	w.metrics.recoveredValues.SetInt(int64(stats.Values))
 	w.metrics.recoveredSegments.SetInt(int64(stats.Segments))
 	w.metrics.truncatedBytes.SetInt(stats.TruncatedBytes)
+	w.metrics.snapshotRecords.SetInt(int64(stats.SnapshotRecords))
+	w.metrics.snapshotValues.SetInt(int64(stats.SnapshotValues))
 	st.AttachWAL(w)
 	return st, w, stats, nil
 }
 
-// applyEntry replays one WAL entry into the store without re-logging
-// it (recovery attaches the WAL only after replay).
+// removeObsolete deletes segments covered by the loaded snapshot and
+// all snapshots older than it, then syncs the directory.
+func removeObsolete(dir string, segs, snaps []segRef, snapSeg int) {
+	removed := false
+	for _, seg := range segs {
+		if seg.n <= snapSeg {
+			if os.Remove(filepath.Join(dir, seg.name)) == nil {
+				removed = true
+			}
+		}
+	}
+	for _, sn := range snaps {
+		if sn.n < snapSeg {
+			if os.Remove(filepath.Join(dir, sn.name)) == nil {
+				removed = true
+			}
+		}
+	}
+	if removed {
+		fsyncDir(dir)
+	}
+}
+
+// syncFileAndDir fsyncs path's contents and then its parent directory,
+// making an in-place metadata change (truncation, rename) durable.
+func syncFileAndDir(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
+// fsyncDir fsyncs a directory so entry creations/removals/renames in
+// it are durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// applyEntry replays one WAL or snapshot entry into the store without
+// re-logging it (recovery attaches the WAL only after replay).
 func (s *Store) applyEntry(e *walEntry, stats *RecoveryStats) {
 	switch {
 	case e.Record != nil:
 		s.mu.Lock()
-		s.appendLocked(e.Record)
+		idx := s.appendLocked(e.Record)
 		if e.CID != "" && e.Seq > s.lastSeq[e.CID] {
 			s.lastSeq[e.CID] = e.Seq
+			s.lastIdx[e.CID] = idx
 		}
 		s.mu.Unlock()
 		stats.Records++
@@ -612,5 +835,14 @@ func (s *Store) applyEntry(e *walEntry, stats *RecoveryStats) {
 		}
 		s.mu.Unlock()
 		stats.Values++
+	case e.Seqs != nil:
+		s.mu.Lock()
+		for cid, se := range e.Seqs {
+			if se.Seq > s.lastSeq[cid] {
+				s.lastSeq[cid] = se.Seq
+				s.lastIdx[cid] = se.Idx
+			}
+		}
+		s.mu.Unlock()
 	}
 }

@@ -37,6 +37,33 @@ for dir in internal/population internal/canvas internal/mlearn; do
     done
 done
 
+# Snapshot writers (internal/storage): equal store state must
+# serialize to byte-identical output — the golden digests, the
+# repeated-compaction test and the cross-shard-count chaos comparisons
+# all hash the serialized bytes. Go randomizes map iteration order, so
+# any non-test file that emits store state (a JSONL WriteTo or the
+# compaction snapshot writer) must route map-derived keys through a
+# sorted helper. time.Now is legitimate here (WAL latency metrics);
+# the global-rand and Date.now rules still apply.
+for f in internal/storage/*.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    if grep -Eq 'json\.NewEncoder|func writeSnapshot' "$f" \
+        && ! grep -Eq 'sort\.Strings|sortedValueHashesLocked' "$f"; then
+        echo "determinism lint: $f serializes store state without sorting map-derived keys" >&2
+        fail=1
+    fi
+    if grep -En '(^|[^.[:alnum:]_])rand\.(Seed|Int|Intn|Int31n?|Int63n?|Uint32|Uint64|Float32|Float64|NormFloat64|ExpFloat64|Perm|Shuffle|Read)\(' "$f"; then
+        echo "determinism lint: $f uses the global math/rand source — use a seeded rand.New(rand.NewSource(...))" >&2
+        fail=1
+    fi
+    if grep -n 'Date\.now' "$f"; then
+        echo "determinism lint: $f references Date.now" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "determinism lint FAILED" >&2
     exit 1
