@@ -1,13 +1,19 @@
 GO ?= go
 
-.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest chaos
+# Benchmark iteration counts; override for quicker or steadier runs,
+# e.g. `make bench BENCHTIME_MATCH=200x BENCHTIME_PIPELINE=1x`.
+BENCHTIME_MATCH ?= 2000x
+BENCHTIME_PIPELINE ?= 3x
+
+.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest bench-1m chaos
 
 ## check: the full gate — build, vet, determinism lint, and the
 ## race-enabled test suite. The worker-pool primitives behind the
 ## analytic pipeline, the crash-safety stack (WAL storage, collector
-## drain, fault injection), the obs metrics registry and the forest
-## trainer get an explicit vet + race pass so CI keeps gating them even
-## if the package list is ever narrowed.
+## drain, fault injection), the obs metrics registry, the forest
+## trainer and the external sorter plus its spill/merge consumers (the
+## streaming pipeline) get an explicit vet + race pass so CI keeps
+## gating them even if the package list is ever narrowed.
 check: lint-determinism
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -15,10 +21,13 @@ check: lint-determinism
 	$(GO) vet ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) vet ./internal/obs/
 	$(GO) vet ./internal/mlearn/
+	$(GO) vet ./internal/extsort/
 	$(GO) test -race ./internal/parallel/
 	$(GO) test -race ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/mlearn/
+	$(GO) test -race ./internal/extsort/
+	$(GO) test -race -run 'TestSpill|TestStreamReport' ./internal/population/ ./internal/report/
 	$(GO) test -race ./...
 
 ## lint-determinism: grep-based guard — the simulation packages must be
@@ -51,14 +60,24 @@ race:
 ## the analytic-pipeline stage benchmarks and the BENCH_pipeline.json
 ## throughput snapshot (per-stage records/sec at 1 worker and NumCPU).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkFigure9MatchTime|BenchmarkTopKBlocked|BenchmarkTopKParallel' -benchtime 2000x .
-	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime 3x .
-	BENCH_PIPELINE_OUT=BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v .
+	$(GO) test -run xxx -bench 'BenchmarkFigure9MatchTime|BenchmarkTopKBlocked|BenchmarkTopKParallel' -benchtime $(BENCHTIME_MATCH) .
+	$(GO) test -run xxx -bench BenchmarkPipeline -benchtime $(BENCHTIME_PIPELINE) .
+	BENCH_PIPELINE_OUT=BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v -timeout 60m .
 
 ## bench-pipeline: only the pipeline snapshot (BENCH_PIPELINE_USERS
-## overrides the default 3000-user world).
+## overrides the default 20000-user world).
 bench-pipeline:
-	BENCH_PIPELINE_OUT=BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v .
+	BENCH_PIPELINE_OUT=BENCH_pipeline.json $(GO) test -run TestEmitPipelineBench -v -timeout 60m .
+
+## bench-1m: the out-of-core headline — simulate → spill → merge →
+## link at 1M users in bounded memory, recording peak RSS, spill bytes
+## and per-stage throughput into BENCH_pipeline.json's "stream" entry.
+## BENCH_STREAM_USERS overrides the default 1,000,000 (e.g.
+## BENCH_STREAM_USERS=20000 for a quick local run); BENCH_STREAM_MEM_MIB
+## sets the simulate batching budget (default 256); BENCH_STREAM_SPILL_DIR
+## pins the spill directory (default: per-test temp dir).
+bench-1m:
+	BENCH_STREAM_OUT=BENCH_pipeline.json $(GO) test -run TestEmitStreamBench -v -timeout 600m .
 
 ## bench-forest: the learning-based linker's forest snapshot
 ## (BENCH_forest.json): pair preprocessing and forest training

@@ -19,6 +19,7 @@ import (
 
 	"fpdyn/internal/browserid"
 	"fpdyn/internal/dynamics"
+	"fpdyn/internal/obs"
 	"fpdyn/internal/population"
 )
 
@@ -90,26 +91,88 @@ type pipelineStageResult struct {
 	Records    int     `json:"records"`
 	Seconds    float64 `json:"seconds"`
 	RecsPerSec float64 `json:"records_per_sec"`
+	AllocBytes int64   `json:"alloc_bytes,omitempty"`
+	Allocs     int64   `json:"allocs,omitempty"`
+}
+
+// streamBenchResult is the out-of-core headline entry emitted by
+// TestEmitStreamBench (`make bench-1m`): the end-to-end spill → merge →
+// link run with its peak RSS and spill volume, stored alongside the
+// in-memory per-stage numbers in BENCH_pipeline.json.
+type streamBenchResult struct {
+	Users        int                   `json:"users"`
+	Seed         int64                 `json:"seed"`
+	Workers      int                   `json:"workers"`
+	MemBudgetMiB int64                 `json:"mem_budget_mib"`
+	Records      int                   `json:"records"`
+	Instances    int                   `json:"instances"`
+	SpillRuns    int                   `json:"spill_runs"`
+	SpilledBytes int64                 `json:"spilled_bytes"`
+	PeakRSSBytes int64                 `json:"peak_rss_bytes"`
+	TotalSeconds float64               `json:"total_seconds"`
+	Stages       []pipelineStageResult `json:"stages"`
 }
 
 type pipelineBenchReport struct {
-	Users    int                   `json:"users"`
-	Seed     int64                 `json:"seed"`
-	NumCPU   int                   `json:"num_cpu"`
-	Stages   []pipelineStageResult `json:"stages"`
-	TotalSec map[string]float64    `json:"pipeline_seconds_by_workers"`
+	Users        int                   `json:"users"`
+	Seed         int64                 `json:"seed"`
+	NumCPU       int                   `json:"num_cpu"`
+	Gomaxprocs   int                   `json:"gomaxprocs"`
+	PeakRSSBytes int64                 `json:"peak_rss_bytes,omitempty"`
+	Stages       []pipelineStageResult `json:"stages"`
+	TotalSec     map[string]float64    `json:"pipeline_seconds_by_workers"`
+	Stream       *streamBenchResult    `json:"stream,omitempty"`
+}
+
+// loadPipelineReport reads an existing BENCH_pipeline.json so the two
+// emitters (in-memory stages, streaming headline) can each rewrite the
+// file without clobbering the other's entry. A missing or unreadable
+// file yields the zero report.
+func loadPipelineReport(path string) pipelineBenchReport {
+	var rep pipelineBenchReport
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &rep)
+	}
+	return rep
+}
+
+func writePipelineReport(t *testing.T, path string, rep *pipelineBenchReport) {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// allocDelta reports the heap allocation activity (bytes, mallocs)
+// since the last call's snapshot. Cumulative runtime counters make the
+// delta valid without forcing a GC between stages.
+type allocDelta struct{ lastBytes, lastAllocs uint64 }
+
+func (a *allocDelta) take() (bytes, allocs int64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	bytes = int64(ms.TotalAlloc - a.lastBytes)
+	allocs = int64(ms.Mallocs - a.lastAllocs)
+	a.lastBytes, a.lastAllocs = ms.TotalAlloc, ms.Mallocs
+	return bytes, allocs
 }
 
 // TestEmitPipelineBench measures each pipeline stage at 1 worker and
-// at NumCPU and writes the per-stage throughput as JSON. Gated behind
+// at NumCPU — wall time, throughput, and allocation volume — and
+// writes the per-stage numbers as JSON. Gated behind
 // BENCH_PIPELINE_OUT so the regular test run stays fast; `make bench`
-// sets it.
+// sets it. An existing "stream" entry in the output file (written by
+// `make bench-1m`) is preserved.
 func TestEmitPipelineBench(t *testing.T) {
 	out := os.Getenv("BENCH_PIPELINE_OUT")
 	if out == "" {
 		t.Skip("set BENCH_PIPELINE_OUT=<path> to emit the pipeline benchmark")
 	}
-	users := 3000
+	users := 20000
 	if s := os.Getenv("BENCH_PIPELINE_USERS"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n <= 0 {
@@ -119,10 +182,12 @@ func TestEmitPipelineBench(t *testing.T) {
 	}
 
 	rep := pipelineBenchReport{
-		Users:    users,
-		Seed:     42,
-		NumCPU:   runtime.NumCPU(),
-		TotalSec: map[string]float64{},
+		Users:      users,
+		Seed:       42,
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		TotalSec:   map[string]float64{},
+		Stream:     loadPipelineReport(out).Stream,
 	}
 	for _, mode := range []struct {
 		label   string
@@ -131,35 +196,44 @@ func TestEmitPipelineBench(t *testing.T) {
 		cfg := population.DefaultConfig(users)
 		cfg.Seed = 42
 		cfg.Workers = mode.workers
+		var alloc allocDelta
+		alloc.take()
 
 		start := time.Now()
 		ds := population.Simulate(cfg)
 		simSec := time.Since(start).Seconds()
+		simAB, simAN := alloc.take()
 
 		start = time.Now()
 		gt := browserid.BuildParallel(ds.Records, mode.workers)
 		gtSec := time.Since(start).Seconds()
+		gtAB, gtAN := alloc.take()
 
 		start = time.Now()
 		dyns := dynamics.GenerateParallel(gt, mode.workers)
 		dynSec := time.Since(start).Seconds()
+		dynAB, dynAN := alloc.take()
 
 		changed := dynamics.Changed(dyns)
 		cl := &dynamics.Classifier{Images: dynamics.MapImages(ds.CanvasImages)}
+		alloc.take()
 		start = time.Now()
 		cl.ClassifyAll(changed, mode.workers)
 		clSec := time.Since(start).Seconds()
+		clAB, clAN := alloc.take()
 
 		n := len(ds.Records)
 		for _, st := range []struct {
 			stage string
 			recs  int
 			sec   float64
+			ab    int64
+			an    int64
 		}{
-			{"simulate", n, simSec},
-			{"ground_truth", n, gtSec},
-			{"dynamics", len(dyns), dynSec},
-			{"classify", len(changed), clSec},
+			{"simulate", n, simSec, simAB, simAN},
+			{"ground_truth", n, gtSec, gtAB, gtAN},
+			{"dynamics", len(dyns), dynSec, dynAB, dynAN},
+			{"classify", len(changed), clSec, clAB, clAN},
 		} {
 			rps := 0.0
 			if st.sec > 0 {
@@ -168,18 +242,15 @@ func TestEmitPipelineBench(t *testing.T) {
 			rep.Stages = append(rep.Stages, pipelineStageResult{
 				Stage: st.stage, Workers: mode.workers,
 				Records: st.recs, Seconds: st.sec, RecsPerSec: rps,
+				AllocBytes: st.ab, Allocs: st.an,
 			})
 		}
 		rep.TotalSec[mode.label] = simSec + gtSec + dynSec + clSec
 	}
+	rep.PeakRSSBytes = obs.PeakRSSBytes()
 
-	data, err := json.MarshalIndent(&rep, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	t.Logf("wrote %s (%d users, %d CPUs): serial %.2fs, parallel %.2fs",
-		out, users, rep.NumCPU, rep.TotalSec["1"], rep.TotalSec["ncpu"])
+	writePipelineReport(t, out, &rep)
+	t.Logf("wrote %s (%d users, %d CPUs): serial %.2fs, parallel %.2fs, peak RSS %.1f MiB",
+		out, users, rep.NumCPU, rep.TotalSec["1"], rep.TotalSec["ncpu"],
+		float64(rep.PeakRSSBytes)/(1<<20))
 }

@@ -1,0 +1,114 @@
+package fpdyn
+
+// The out-of-core streaming benchmark (`make bench-1m`): simulate →
+// spill → merge → ground truth → regroup → classify at a user count
+// that does not fit the in-memory pipeline comfortably, recording the
+// bounded-memory headline (peak RSS), the spill volume, and per-stage
+// throughput into BENCH_pipeline.json's "stream" entry.
+//
+//	BENCH_STREAM_OUT=BENCH_pipeline.json go test -run TestEmitStreamBench -v -timeout 120m .
+//	BENCH_STREAM_USERS=20000 make bench-1m   # quick run at small scale
+//
+// The entry is merged into the existing BENCH_pipeline.json rather
+// than replacing it, so the in-memory stage numbers and the streaming
+// headline live side by side.
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/obs"
+	"fpdyn/internal/population"
+	"fpdyn/internal/report"
+)
+
+func TestEmitStreamBench(t *testing.T) {
+	out := os.Getenv("BENCH_STREAM_OUT")
+	if out == "" {
+		t.Skip("set BENCH_STREAM_OUT=<path> to emit the streaming benchmark")
+	}
+	users := 1_000_000
+	if s := os.Getenv("BENCH_STREAM_USERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad BENCH_STREAM_USERS %q: %v", s, err)
+		}
+		users = n
+	}
+	memBudgetMiB := int64(256)
+	if s := os.Getenv("BENCH_STREAM_MEM_MIB"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad BENCH_STREAM_MEM_MIB %q: %v", s, err)
+		}
+		memBudgetMiB = n
+	}
+	spillDir := os.Getenv("BENCH_STREAM_SPILL_DIR")
+	if spillDir == "" {
+		spillDir = t.TempDir()
+	}
+
+	cfg := population.DefaultConfig(users)
+	cfg.Seed = 42
+	cfg.Workers = -1 // NumCPU
+
+	reg := obs.NewRegistry()
+	timings := &obs.Timings{}
+	sd, err := population.SimulateSpill(cfg, population.StreamOptions{
+		SpillDir:  spillDir,
+		MemBudget: memBudgetMiB << 20,
+		Registry:  reg,
+		Timings:   timings,
+	})
+	if err != nil {
+		t.Fatalf("SimulateSpill: %v", err)
+	}
+	defer sd.Close()
+	t.Logf("spilled %d records in %d runs (%.1f MiB)",
+		sd.Records, sd.Runs(), float64(sd.SpilledBytes())/(1<<20))
+
+	sr, err := report.NewStream(report.SpillSource(sd), dynamics.MapImages(sd.CanvasImages), io.Discard,
+		report.StreamOptions{
+			Workers:  cfg.Workers,
+			SpillDir: sd.SpillRoot(),
+			Registry: reg,
+			Timings:  timings,
+		})
+	if err != nil {
+		t.Fatalf("report.NewStream: %v", err)
+	}
+	sr.Summary()
+	sr.Estimate()
+	sr.Table2()
+
+	snap := reg.Snapshot()
+	res := &streamBenchResult{
+		Users:        users,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		MemBudgetMiB: memBudgetMiB,
+		Records:      sd.Records,
+		Instances:    sr.NumInstances(),
+		SpillRuns:    sd.Runs(),
+		SpilledBytes: snap.Counters[`extsort_spilled_bytes_total{sort="simulate"}`] +
+			snap.Counters[`extsort_spilled_bytes_total{sort="regroup"}`],
+		PeakRSSBytes: obs.PeakRSSBytes(),
+		TotalSeconds: timings.TotalSeconds(),
+	}
+	for _, st := range timings.Stages() {
+		res.Stages = append(res.Stages, pipelineStageResult{
+			Stage: st.Stage, Workers: cfg.Workers,
+			Records: st.Records, Seconds: st.Seconds, RecsPerSec: st.RecsPerSec,
+		})
+	}
+
+	rep := loadPipelineReport(out)
+	rep.Stream = res
+	writePipelineReport(t, out, &rep)
+	t.Logf("wrote %s stream entry: %d users, %d records, %.1fs total, peak RSS %.1f MiB, spilled %.1f MiB",
+		out, users, res.Records, res.TotalSeconds,
+		float64(res.PeakRSSBytes)/(1<<20), float64(res.SpilledBytes)/(1<<20))
+}

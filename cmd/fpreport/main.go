@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"fpdyn/internal/dynamics"
 	"fpdyn/internal/obs"
 	"fpdyn/internal/population"
 	"fpdyn/internal/report"
@@ -30,6 +31,9 @@ func main() {
 	what := flag.String("what", "all", "comma-separated artifacts: table1,table2,table3,fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig12,estimate,insight1,insight3,compression,tradeoff,stemming or all")
 	workers := flag.Int("workers", 0, "worker count for the simulate/ground-truth/diff/classify pipeline: 0 = serial reproduction path, -1 = NumCPU")
 	stageTiming := flag.String("stage-timing", "", "path for the per-stage wall-time/records-per-sec JSON (empty disables)")
+	stream := flag.Bool("stream", false, "out-of-core pipeline: spill the simulation to sorted segment files and stream the analyses in bounded memory (sections: summary, estimate, table2)")
+	spillDir := flag.String("spill-dir", "", "spill directory for -stream run files (empty = temp dir, removed afterwards)")
+	memBudget := flag.Int64("mem-budget", 256, "approximate in-flight memory budget for -stream simulation batching, in MiB")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -54,6 +58,15 @@ func main() {
 	if *stageTiming != "" {
 		timings = &obs.Timings{}
 	}
+
+	if *stream {
+		if err := runStream(cfg, sel, timings, *spillDir, *memBudget, *stageTiming); err != nil {
+			fmt.Fprintf(os.Stderr, "fpreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	stop := timings.Start("simulate")
 	ds := population.Simulate(cfg)
 	stop(len(ds.Records))
@@ -96,4 +109,54 @@ func main() {
 		}
 		fmt.Printf("wrote stage timing to %s\n", *stageTiming)
 	}
+}
+
+// runStream is the -stream path: the simulation spills sorted segment
+// runs instead of materializing the dataset, and the report sections
+// that stream (summary, estimate, table2) are computed from the merged
+// record stream in bounded memory. The printed bytes for those
+// sections match the in-memory path exactly.
+func runStream(cfg population.Config, sel func(string) bool, timings *obs.Timings, spillDir string, memBudgetMiB int64, stageTiming string) error {
+	reg := obs.NewRegistry()
+	sd, err := population.SimulateSpill(cfg, population.StreamOptions{
+		SpillDir:  spillDir,
+		MemBudget: memBudgetMiB << 20,
+		Registry:  reg,
+		Timings:   timings,
+	})
+	if err != nil {
+		return err
+	}
+	defer sd.Close()
+	fmt.Printf("spilled %d records in %d runs (%.1f MiB)\n",
+		sd.Records, sd.Runs(), float64(sd.SpilledBytes())/(1<<20))
+
+	sr, err := report.NewStream(report.SpillSource(sd), dynamics.MapImages(sd.CanvasImages), os.Stdout,
+		report.StreamOptions{
+			Workers:  cfg.Workers,
+			SpillDir: sd.SpillRoot(),
+			Registry: reg,
+			Timings:  timings,
+		})
+	if err != nil {
+		return err
+	}
+	sr.Summary()
+	if sel("estimate") {
+		sr.Estimate()
+	}
+	if sel("table2") {
+		sr.Table2()
+	}
+	if rss := obs.PeakRSSBytes(); rss > 0 {
+		fmt.Printf("peak RSS: %.1f MiB\n", float64(rss)/(1<<20))
+	}
+	if stageTiming != "" {
+		timings.SetSnapshot(reg.Snapshot())
+		if err := timings.WriteFile(stageTiming); err != nil {
+			return fmt.Errorf("stage timing: %w", err)
+		}
+		fmt.Printf("wrote stage timing to %s\n", stageTiming)
+	}
+	return nil
 }

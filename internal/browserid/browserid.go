@@ -86,7 +86,7 @@ type GroundTruth struct {
 	// IDs it was seen with.
 	UserInstances map[string]map[string]bool
 
-	parent map[string]string // union-find over initial IDs
+	uf unionFind // union-find over initial IDs
 }
 
 // Build constructs browser IDs for a raw dataset. Records must be in
@@ -103,40 +103,23 @@ func Build(records []*fingerprint.Record) *GroundTruth {
 // IDs; its cost is a map probe per record, dwarfed by the hashing. The
 // result is identical for every worker count.
 func BuildParallel(records []*fingerprint.Record, workers int) *GroundTruth {
-	gt := &GroundTruth{
-		Instances:     make(map[string][]*fingerprint.Record),
-		UserInstances: make(map[string]map[string]bool),
-		parent:        make(map[string]string),
-	}
-
+	b := NewStreamBuilder()
 	initial := parallel.Map(workers, len(records), func(i int) string {
 		return InitialID(records[i])
 	})
-	// cookieOwner maps (user, cookie) to the first initial ID seen with
-	// that cookie; a second initial ID under the same pair is an
-	// exceptional case and gets linked.
-	type userCookie struct{ user, cookie string }
-	cookieOwner := make(map[userCookie]string)
-
 	for i, r := range records {
-		id := initial[i]
-		gt.union(id, id) // ensure present
-		if r.Cookie == "" {
-			continue
-		}
-		key := userCookie{r.UserID, r.Cookie}
-		if owner, ok := cookieOwner[key]; ok {
-			if owner != id {
-				gt.union(owner, id)
-			}
-		} else {
-			cookieOwner[key] = id
-		}
+		b.observe(r, initial[i])
 	}
+	b.Seal()
 
+	gt := &GroundTruth{
+		Instances:     make(map[string][]*fingerprint.Record),
+		UserInstances: make(map[string]map[string]bool),
+		uf:            b.uf,
+	}
 	gt.IDs = make([]string, len(records))
 	for i, r := range records {
-		id := gt.find(initial[i])
+		id := gt.uf.find(initial[i])
 		gt.IDs[i] = id
 		gt.Instances[id] = append(gt.Instances[id], r)
 		set := gt.UserInstances[r.UserID]
@@ -149,23 +132,29 @@ func BuildParallel(records []*fingerprint.Record, workers int) *GroundTruth {
 	return gt
 }
 
-func (gt *GroundTruth) find(x string) string {
-	p, ok := gt.parent[x]
+// unionFind is a path-compressing union-find over browser-ID strings.
+// The canonical root of every component is its lexicographically
+// smallest member, which makes the final assignment independent of
+// union order (only WHICH unions happen depends on record order).
+type unionFind map[string]string
+
+func (u unionFind) find(x string) string {
+	p, ok := u[x]
 	if !ok || p == x {
 		return x
 	}
-	root := gt.find(p)
-	gt.parent[x] = root
+	root := u.find(p)
+	u[x] = root
 	return root
 }
 
-func (gt *GroundTruth) union(a, b string) {
-	ra, rb := gt.find(a), gt.find(b)
-	if _, ok := gt.parent[ra]; !ok {
-		gt.parent[ra] = ra
+func (u unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if _, ok := u[ra]; !ok {
+		u[ra] = ra
 	}
-	if _, ok := gt.parent[rb]; !ok {
-		gt.parent[rb] = rb
+	if _, ok := u[rb]; !ok {
+		u[rb] = rb
 	}
 	if ra == rb {
 		return
@@ -174,7 +163,7 @@ func (gt *GroundTruth) union(a, b string) {
 	if rb < ra {
 		ra, rb = rb, ra
 	}
-	gt.parent[rb] = ra
+	u[rb] = ra
 }
 
 // NumInstances returns the number of distinct canonical browser IDs.

@@ -14,9 +14,7 @@ import "fpdyn/internal/parallel"
 // pass is safe, and ordered collection keeps the output identical for
 // every worker count.
 func (c *Classifier) ClassifyAll(dyns []*Dynamics, workers int) []Classification {
-	out := parallel.Map(workers, len(dyns), func(i int) Classification {
-		return c.classify(dyns[i])
-	})
+	out := c.ClassifyBatch(dyns, workers)
 	if c.memo == nil {
 		c.memo = make(map[*Dynamics]Classification, len(dyns))
 	}
@@ -24,4 +22,16 @@ func (c *Classifier) ClassifyAll(dyns []*Dynamics, workers int) []Classification
 		c.memo[d] = out[i]
 	}
 	return out
+}
+
+// ClassifyBatch classifies every dynamics concurrently and returns the
+// classifications in input order, WITHOUT memoizing. This is the
+// streaming path's entry point: there the dynamics are transient chunk
+// objects that are dropped after accumulation, and a memo keyed by
+// their identity would retain every chunk for the whole run. Output is
+// identical for every worker count.
+func (c *Classifier) ClassifyBatch(dyns []*Dynamics, workers int) []Classification {
+	return parallel.Map(workers, len(dyns), func(i int) Classification {
+		return c.classify(dyns[i])
+	})
 }

@@ -347,16 +347,18 @@ func TestCompositeClassification(t *testing.T) {
 }
 
 func TestAnalyzeAggregation(t *testing.T) {
+	// Grouped by BrowserID, as every Generate* output is (Analyze's
+	// accumulator dedups per instance on the group boundaries).
 	dyns := []*Dynamics{
 		dyn(func(r *fingerprint.Record) { r.FP.TimezoneOffset = 0 }),
-		dyn(func(r *fingerprint.Record) { r.FP.TimezoneOffset = 120 }),
 		dyn(func(r *fingerprint.Record) {
 			ua := useragent.UA{Browser: useragent.Chrome, BrowserVersion: useragent.V(57), OS: useragent.Windows, OSVersion: useragent.V(10)}
 			r.FP.UserAgent = ua.String()
 		}),
 		dyn(func(r *fingerprint.Record) { r.FP.IPCity = "Munich" }), // IP only: not counted
+		dyn(func(r *fingerprint.Record) { r.FP.TimezoneOffset = 120 }),
 	}
-	dyns[1].BrowserID = "b2"
+	dyns[3].BrowserID = "b2"
 	var cl Classifier
 	b := Analyze(dyns, &cl, 10)
 	if b.TotalChanged != 3 {

@@ -71,90 +71,133 @@ func joinPlus(names []string) string {
 // Analyze classifies every piece of dynamics and aggregates the
 // Table 2 quantities. totalInstances is the full instance count
 // (including single-visit instances, which can never show dynamics).
+// dyns must be grouped by BrowserID — true for every Generate*
+// output, whose chains are contiguous per instance — because the
+// per-instance dedup runs on instance boundaries (Accumulator).
 func Analyze(dyns []*Dynamics, cl *Classifier, totalInstances int) *Breakdown {
-	b := &Breakdown{
-		TotalInstances:                 totalInstances,
-		PureCategory:                   make(map[Category]int),
-		Combo:                          make(map[string]int),
-		CauseChanges:                   make(map[Cause]int),
-		CauseInstances:                 make(map[Cause]int),
-		CategoryChanges:                make(map[Category]int),
-		CategoryInstances:              make(map[Category]int),
-		BrowserUpdatesByFamily:         make(map[string]int),
-		OSUpdatesByOS:                  make(map[string]int),
-		BrowserUpdateInstancesByFamily: make(map[string]int),
-		OSUpdateInstancesByOS:          make(map[string]int),
-	}
-	instCause := make(map[Cause]map[string]bool)
-	instCat := make(map[Category]map[string]bool)
-	instChanged := make(map[string]bool)
-	instFam := make(map[string]map[string]bool)
-	instOS := make(map[string]map[string]bool)
-
+	a := NewAccumulator()
 	for _, d := range dyns {
 		if !d.CoreChanged() {
 			continue
 		}
-		b.TotalChanged++
-		instChanged[d.BrowserID] = true
-		c := cl.Classify(d)
-		if c.Empty() {
-			b.Unclassified++
-			continue
-		}
-		cats := c.Categories()
-		if len(cats) == 1 {
-			b.PureCategory[cats[0]]++
-		} else {
-			b.Combo[ComboLabel(cats)]++
-		}
-		for _, cat := range cats {
-			b.CategoryChanges[cat]++
-			if instCat[cat] == nil {
-				instCat[cat] = make(map[string]bool)
-			}
-			instCat[cat][d.BrowserID] = true
-		}
-		for _, cause := range c.Causes {
-			b.CauseChanges[cause]++
-			if instCause[cause] == nil {
-				instCause[cause] = make(map[string]bool)
-			}
-			instCause[cause][d.BrowserID] = true
-		}
-		// Per-family sub-rows, keyed by the browser/OS the instance runs
-		// (the "to" record's parsed identity).
-		if c.Has(CauseBrowserUpdate) {
-			fam := d.To.Browser
-			b.BrowserUpdatesByFamily[fam]++
-			if instFam[fam] == nil {
-				instFam[fam] = make(map[string]bool)
-			}
-			instFam[fam][d.BrowserID] = true
-		}
-		if c.Has(CauseOSUpdate) {
-			os := d.To.OS
-			b.OSUpdatesByOS[os]++
-			if instOS[os] == nil {
-				instOS[os] = make(map[string]bool)
-			}
-			instOS[os][d.BrowserID] = true
-		}
+		a.Add(d, cl.Classify(d))
 	}
-	b.InstancesWithChange = len(instChanged)
-	for cause, set := range instCause {
-		b.CauseInstances[cause] = len(set)
+	return a.Finish(totalInstances)
+}
+
+// Accumulator aggregates classified dynamics into a Breakdown one
+// piece at a time, holding only counters plus the per-instance dedup
+// state of the CURRENT instance — the streaming pipeline's bounded-
+// memory replacement for Analyze's per-instance sets. Dynamics must
+// arrive grouped by BrowserID (each instance's pieces contiguous);
+// within that, any order. Only core-changed dynamics should be fed.
+type Accumulator struct {
+	b *Breakdown
+
+	// Current-instance dedup state, reset at each BrowserID boundary.
+	curID     string
+	curActive bool
+	curCauses map[Cause]bool
+	curCats   map[Category]bool
+	curFams   map[string]bool
+	curOSes   map[string]bool
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		b: &Breakdown{
+			PureCategory:                   make(map[Category]int),
+			Combo:                          make(map[string]int),
+			CauseChanges:                   make(map[Cause]int),
+			CauseInstances:                 make(map[Cause]int),
+			CategoryChanges:                make(map[Category]int),
+			CategoryInstances:              make(map[Category]int),
+			BrowserUpdatesByFamily:         make(map[string]int),
+			OSUpdatesByOS:                  make(map[string]int),
+			BrowserUpdateInstancesByFamily: make(map[string]int),
+			OSUpdateInstancesByOS:          make(map[string]int),
+		},
+		curCauses: make(map[Cause]bool),
+		curCats:   make(map[Category]bool),
+		curFams:   make(map[string]bool),
+		curOSes:   make(map[string]bool),
 	}
-	for cat, set := range instCat {
-		b.CategoryInstances[cat] = len(set)
+}
+
+// Add feeds one core-changed dynamics with its classification.
+func (a *Accumulator) Add(d *Dynamics, c Classification) {
+	b := a.b
+	if !a.curActive || d.BrowserID != a.curID {
+		a.flushInstance()
+		a.curID = d.BrowserID
+		a.curActive = true
 	}
-	for fam, set := range instFam {
-		b.BrowserUpdateInstancesByFamily[fam] = len(set)
+	b.TotalChanged++
+	if c.Empty() {
+		b.Unclassified++
+		return
 	}
-	for os, set := range instOS {
-		b.OSUpdateInstancesByOS[os] = len(set)
+	cats := c.Categories()
+	if len(cats) == 1 {
+		b.PureCategory[cats[0]]++
+	} else {
+		b.Combo[ComboLabel(cats)]++
 	}
-	return b
+	for _, cat := range cats {
+		b.CategoryChanges[cat]++
+		a.curCats[cat] = true
+	}
+	for _, cause := range c.Causes {
+		b.CauseChanges[cause]++
+		a.curCauses[cause] = true
+	}
+	// Per-family sub-rows, keyed by the browser/OS the instance runs
+	// (the "to" record's parsed identity).
+	if c.Has(CauseBrowserUpdate) {
+		b.BrowserUpdatesByFamily[d.To.Browser]++
+		a.curFams[d.To.Browser] = true
+	}
+	if c.Has(CauseOSUpdate) {
+		b.OSUpdatesByOS[d.To.OS]++
+		a.curOSes[d.To.OS] = true
+	}
+}
+
+// flushInstance folds the current instance's dedup sets into the
+// per-instance counters and clears them.
+func (a *Accumulator) flushInstance() {
+	if !a.curActive {
+		return
+	}
+	b := a.b
+	b.InstancesWithChange++
+	for cause := range a.curCauses {
+		b.CauseInstances[cause]++
+		delete(a.curCauses, cause)
+	}
+	for cat := range a.curCats {
+		b.CategoryInstances[cat]++
+		delete(a.curCats, cat)
+	}
+	for fam := range a.curFams {
+		b.BrowserUpdateInstancesByFamily[fam]++
+		delete(a.curFams, fam)
+	}
+	for os := range a.curOSes {
+		b.OSUpdateInstancesByOS[os]++
+		delete(a.curOSes, os)
+	}
+	a.curActive = false
+}
+
+// Finish flushes the last instance and returns the Breakdown.
+// totalInstances is the full instance count (including never-changing
+// ones), the "% of Browser IDs" denominator.
+func (a *Accumulator) Finish(totalInstances int) *Breakdown {
+	a.flushInstance()
+	a.b.TotalInstances = totalInstances
+	return a.b
 }
 
 // PctChanges returns n as a percentage of total changed dynamics.

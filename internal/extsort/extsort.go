@@ -1,0 +1,379 @@
+// Package extsort is the out-of-core sorting substrate of the
+// streaming pipeline: bounded-memory external sort via spilled, sorted,
+// CRC-framed run files and a k-way heap merge. The paper's dataset is
+// 7.2M fingerprints — far past what the in-memory pipeline holds — so
+// the simulator and the analytic stages spill their intermediate record
+// streams here and consume them back as iterators instead of slices.
+//
+// On-disk format: each run is a sequence of frames in the storage WAL
+// framing (uint32 length | uint32 CRC-32C | payload, little endian —
+// storage.AppendFrame / storage.ReadFrame), one encoded item per
+// frame. A torn or corrupt frame is a hard error at merge time: spill
+// files live for the duration of one pipeline run, so unlike the WAL
+// there is no tail to truncate — losing records silently would corrupt
+// every downstream statistic.
+//
+// Determinism: Merge yields items in exactly the order Less defines,
+// with ties broken by run index (earlier run wins). Pipelines that need
+// byte-identical output across partitionings must use a total order
+// (the record streams key on (time, serial), which is unique).
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"fpdyn/internal/obs"
+	"fpdyn/internal/storage"
+)
+
+// Options configures a Sorter. Less, Encode and Decode are required;
+// the zero value of everything else has a usable default.
+type Options[T any] struct {
+	// Dir is the spill directory; created if absent. Required.
+	Dir string
+	// Less is the sort order. It must be a total order for the merged
+	// stream to be independent of how items were partitioned into runs.
+	Less func(a, b T) bool
+	// Encode appends the encoding of v to dst and returns the extended
+	// slice (the append-style contract avoids per-item allocations).
+	Encode func(dst []byte, v T) ([]byte, error)
+	// Decode parses one encoded item. The payload slice is only valid
+	// during the call.
+	Decode func(payload []byte) (T, error)
+	// MaxRunItems bounds the Push buffer: when it fills, the buffer is
+	// sorted and spilled as one run (default 65536).
+	MaxRunItems int
+	// MaxFrame bounds a single encoded item (default the storage WAL
+	// bound, 16 MiB).
+	MaxFrame int
+	// OpenFile opens a new run file for writing; defaults to os.Create.
+	// Fault-injection hooks replace it to script write failures.
+	OpenFile func(path string) (storage.SegmentFile, error)
+	// Registry receives the sorter's metrics (runs, spilled bytes,
+	// merge heap size, records in flight). Nil disables.
+	Registry *obs.Registry
+	// Name labels this sorter's metrics (the "sort" label value), so
+	// several sorters can share one registry.
+	Name string
+}
+
+func (o *Options[T]) maxRunItems() int {
+	if o.MaxRunItems <= 0 {
+		return 65536
+	}
+	return o.MaxRunItems
+}
+
+func (o *Options[T]) openFile(path string) (storage.SegmentFile, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(path)
+	}
+	return os.Create(path)
+}
+
+// Sorter accumulates items into sorted, spilled runs and merges them
+// back as a bounded-memory stream. Not safe for concurrent use: the
+// pipeline stages that feed it are the ordered, single-consumer ends
+// of the worker pools.
+type Sorter[T any] struct {
+	opts Options[T]
+
+	buf     []T
+	runs    []string
+	spilled int64
+	count   int64
+	scratch []byte
+	frozen  bool // set once Merge has been called; no more writes
+
+	mRuns     *obs.Counter
+	mBytes    *obs.Counter
+	mItems    *obs.Counter
+	mInFlight *obs.Gauge
+	mHeap     *obs.Gauge
+}
+
+// New creates a Sorter spilling under opts.Dir.
+func New[T any](opts Options[T]) (*Sorter[T], error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("extsort: Dir is required")
+	}
+	if opts.Less == nil || opts.Encode == nil || opts.Decode == nil {
+		return nil, fmt.Errorf("extsort: Less, Encode and Decode are required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("extsort: %w", err)
+	}
+	s := &Sorter[T]{opts: opts}
+	if reg := opts.Registry; reg != nil {
+		labels := []string{"sort", opts.Name}
+		s.mRuns = reg.Counter("extsort_runs_total", "spill run files written", labels...)
+		s.mBytes = reg.Counter("extsort_spilled_bytes_total", "bytes spilled to run files", labels...)
+		s.mItems = reg.Counter("extsort_items_total", "items written into runs", labels...)
+		s.mInFlight = reg.Gauge("extsort_buffered_items", "items buffered in memory awaiting spill", labels...)
+		s.mHeap = reg.Gauge("extsort_merge_heap_size", "run heads live in the merge heap", labels...)
+	}
+	return s, nil
+}
+
+// Push buffers one item, spilling a sorted run when the buffer reaches
+// MaxRunItems.
+func (s *Sorter[T]) Push(v T) error {
+	if s.frozen {
+		return fmt.Errorf("extsort: push after merge")
+	}
+	s.buf = append(s.buf, v)
+	if s.mInFlight != nil {
+		s.mInFlight.SetInt(int64(len(s.buf)))
+	}
+	if len(s.buf) >= s.opts.maxRunItems() {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush sorts and spills the buffered items as one run. A no-op on an
+// empty buffer.
+func (s *Sorter[T]) Flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.opts.Less(s.buf[i], s.buf[j]) })
+	err := s.WriteRun(s.buf)
+	s.buf = s.buf[:0]
+	if s.mInFlight != nil {
+		s.mInFlight.SetInt(0)
+	}
+	return err
+}
+
+// WriteRun spills one already-sorted run. The items must be in Less
+// order; the merge relies on it. Callers that produce naturally sorted
+// batches (the simulator's per-batch timelines) write runs directly and
+// skip the Push buffer.
+func (s *Sorter[T]) WriteRun(items []T) error {
+	if s.frozen {
+		return fmt.Errorf("extsort: write after merge")
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("run-%06d.seg", len(s.runs)))
+	f, err := s.opts.openFile(path)
+	if err != nil {
+		return fmt.Errorf("extsort: open run: %w", err)
+	}
+	bw := bufio.NewWriterSize(writerOnly{f}, 1<<18)
+	var written int64
+	var frame []byte
+	for _, v := range items {
+		s.scratch, err = s.opts.Encode(s.scratch[:0], v)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: encode: %w", err)
+		}
+		frame = storage.AppendFrame(frame[:0], s.scratch)
+		if _, err := bw.Write(frame); err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: write run: %w", err)
+		}
+		written += int64(len(frame))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: write run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extsort: close run: %w", err)
+	}
+	s.runs = append(s.runs, path)
+	s.spilled += written
+	s.count += int64(len(items))
+	if s.mRuns != nil {
+		s.mRuns.Inc()
+		s.mBytes.Add(written)
+		s.mItems.Add(int64(len(items)))
+	}
+	return nil
+}
+
+// Runs returns the number of spilled run files.
+func (s *Sorter[T]) Runs() int { return len(s.runs) }
+
+// SpilledBytes returns the total bytes written to run files.
+func (s *Sorter[T]) SpilledBytes() int64 { return s.spilled }
+
+// Count returns the total items spilled into runs.
+func (s *Sorter[T]) Count() int64 { return s.count }
+
+// Merge flushes any buffered items and returns a stream yielding every
+// spilled item in Less order. Merge may be called repeatedly — each
+// call re-opens the run files and replays the same merged sequence, so
+// multi-pass consumers (the two-pass ground-truth build) re-stream
+// without re-sorting. After the first Merge the sorter is frozen: no
+// further Push/WriteRun.
+func (s *Sorter[T]) Merge() (*Stream[T], error) {
+	if !s.frozen {
+		if err := s.Flush(); err != nil {
+			return nil, err
+		}
+		s.frozen = true
+	}
+	st := &Stream[T]{s: s}
+	for i, path := range s.runs {
+		f, err := os.Open(path)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("extsort: open run: %w", err)
+		}
+		r := &runReader[T]{
+			s:    s,
+			path: path,
+			f:    f,
+			br:   bufio.NewReaderSize(f, 1<<18),
+			idx:  i,
+		}
+		ok, err := r.advance()
+		if err != nil {
+			st.Close()
+			f.Close()
+			return nil, err
+		}
+		if ok {
+			st.h = append(st.h, r)
+		} else {
+			f.Close()
+		}
+	}
+	heap.Init(&st.h)
+	if s.mHeap != nil {
+		s.mHeap.SetInt(int64(len(st.h)))
+	}
+	return st, nil
+}
+
+// Close removes the spill directory and every run file. The sorter is
+// unusable afterwards.
+func (s *Sorter[T]) Close() error {
+	s.frozen = true
+	s.buf = nil
+	return os.RemoveAll(s.opts.Dir)
+}
+
+// writerOnly narrows a SegmentFile to io.Writer for bufio (SegmentFile
+// has Close, which bufio must not see).
+type writerOnly struct{ f storage.SegmentFile }
+
+func (w writerOnly) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+// runReader is one run's read head: the current decoded item plus the
+// buffered file reader behind it.
+type runReader[T any] struct {
+	s    *Sorter[T]
+	path string
+	f    *os.File
+	br   *bufio.Reader
+	idx  int
+	cur  T
+	off  int64
+}
+
+// advance reads and decodes the next frame. ok=false on a clean EOF at
+// a frame boundary; torn or corrupt frames are hard errors naming the
+// run file and offset.
+func (r *runReader[T]) advance() (ok bool, err error) {
+	payload, err := storage.ReadFrame(r.br, r.s.opts.MaxFrame)
+	if err != nil {
+		if errors.Is(err, io.EOF) && !errors.Is(err, storage.ErrTornFrame) {
+			return false, nil
+		}
+		return false, fmt.Errorf("extsort: run %s at byte %d: %w", filepath.Base(r.path), r.off, err)
+	}
+	r.off += int64(len(payload)) + 8
+	v, err := r.s.opts.Decode(payload)
+	if err != nil {
+		return false, fmt.Errorf("extsort: run %s at byte %d: decode: %w", filepath.Base(r.path), r.off, err)
+	}
+	r.cur = v
+	return true, nil
+}
+
+// Stream is a bounded-memory merged iterator over the spilled runs: one
+// decoded item and one buffered reader per run, independent of the
+// total item count.
+type Stream[T any] struct {
+	s      *Sorter[T]
+	h      mergeHeap[T]
+	closed bool
+}
+
+// Next returns the next item in merge order. ok=false when the stream
+// is exhausted. After an error the stream is poisoned: every later
+// call returns the same error.
+func (st *Stream[T]) Next() (v T, ok bool, err error) {
+	if len(st.h) == 0 {
+		return v, false, nil
+	}
+	top := st.h[0]
+	v = top.cur
+	more, err := top.advance()
+	if err != nil {
+		st.Close()
+		return v, false, err
+	}
+	if more {
+		heap.Fix(&st.h, 0)
+	} else {
+		heap.Pop(&st.h)
+		top.f.Close()
+	}
+	if st.s.mHeap != nil {
+		st.s.mHeap.SetInt(int64(len(st.h)))
+	}
+	return v, true, nil
+}
+
+// Close releases the remaining run readers. Safe to call twice; the
+// run files themselves stay until Sorter.Close so Merge can re-stream.
+func (st *Stream[T]) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	for _, r := range st.h {
+		r.f.Close()
+	}
+	st.h = nil
+	return nil
+}
+
+// mergeHeap orders run heads by Less on their current item, ties broken
+// by run index so the merged order is stable and deterministic.
+type mergeHeap[T any] []*runReader[T]
+
+func (h mergeHeap[T]) Len() int { return len(h) }
+func (h mergeHeap[T]) Less(i, j int) bool {
+	if h[i].s.opts.Less(h[i].cur, h[j].cur) {
+		return true
+	}
+	if h[i].s.opts.Less(h[j].cur, h[i].cur) {
+		return false
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap[T]) Push(x any)         { *h = append(*h, x.(*runReader[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

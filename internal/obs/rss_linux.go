@@ -1,0 +1,17 @@
+//go:build linux
+
+package obs
+
+import "syscall"
+
+// PeakRSSBytes returns the process's peak resident set size in bytes
+// (ru_maxrss; the kernel reports kilobytes on Linux), or 0 if the
+// rusage call fails. The streaming benchmarks record this as the
+// bounded-memory headline number.
+func PeakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// PeakRSSBytes returns 0 on platforms without a portable peak-RSS
+// source; benchmark emitters treat 0 as "not measured".
+func PeakRSSBytes() int64 { return 0 }

@@ -24,6 +24,7 @@ type StageTiming struct {
 type Timings struct {
 	mu     sync.Mutex
 	stages []StageTiming
+	snap   *Snapshot
 }
 
 // Observe appends one finished stage.
@@ -78,15 +79,34 @@ func (t *Timings) TotalSeconds() float64 {
 	return total
 }
 
+// SetSnapshot attaches a metrics snapshot to the stage-timing document
+// — the streaming pipeline stores its final registry scrape (spill
+// runs/bytes, merge heap peaks) here so the `-stage-timing` JSON
+// carries the counters alongside the wall times.
+func (t *Timings) SetSnapshot(s Snapshot) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.snap = &s
+	t.mu.Unlock()
+}
+
 // stageTimingDoc is the on-disk JSON envelope.
 type stageTimingDoc struct {
 	TotalSeconds float64       `json:"total_seconds"`
 	Stages       []StageTiming `json:"stages"`
+	Metrics      *Snapshot     `json:"metrics,omitempty"`
 }
 
 // WriteJSON renders the stage-timing document.
 func (t *Timings) WriteJSON(w io.Writer) error {
 	doc := stageTimingDoc{TotalSeconds: t.TotalSeconds(), Stages: t.Stages()}
+	if t != nil {
+		t.mu.Lock()
+		doc.Metrics = t.snap
+		t.mu.Unlock()
+	}
 	if doc.Stages == nil {
 		doc.Stages = []StageTiming{}
 	}

@@ -380,6 +380,14 @@ func (in *instance) render(now time.Time, vs visitState, ds *Dataset) *fingerpri
 	}
 	if _, ok := ds.GPUImageInfo[ghash]; !ok {
 		ds.GPUImageInfo[ghash] = gi
+		if ds.gpuFirst != nil {
+			// Integrated GPUs can rasterize identical images, so the hash
+			// can collide across distinct GPUInfo values; record which
+			// render claimed it so the spill path (stream.go) can merge
+			// per-shard maps with the serial path's global-timeline
+			// first-wins semantics.
+			ds.gpuFirst[ghash] = gpuFirstKey{t: now, serial: in.serial}
+		}
 	}
 
 	audioRate := dv.audioRate

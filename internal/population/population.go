@@ -54,6 +54,25 @@ type Dataset struct {
 
 	Geo          *geoip.DB
 	NumInstances int
+
+	// gpuFirst, when non-nil, records the (time, serial) of the render
+	// that claimed each GPU image hash — the spill path's cross-batch
+	// first-wins tiebreak (stream.go).
+	gpuFirst map[string]gpuFirstKey
+}
+
+// gpuFirstKey orders GPUImageInfo claims the way the serial visit
+// timeline does: by time, then instance serial.
+type gpuFirstKey struct {
+	t      time.Time
+	serial int
+}
+
+func (k gpuFirstKey) before(o gpuFirstKey) bool {
+	if !k.t.Equal(o.t) {
+		return k.t.Before(o.t)
+	}
+	return k.serial < o.serial
 }
 
 // Simulate generates a dataset under the given configuration. The

@@ -1,0 +1,222 @@
+package population
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpdyn/internal/faultinject"
+	"fpdyn/internal/hashutil"
+	"fpdyn/internal/storage"
+)
+
+func streamTestConfig(workers int) Config {
+	cfg := DefaultConfig(150)
+	cfg.Seed = 42
+	cfg.Workers = workers
+	return cfg
+}
+
+// datasetDigest hashes the full dataset through JSON — record bytes,
+// ground truth, image stores — so byte-identical means byte-identical
+// after the spill round-trip too (reflect.DeepEqual would trip over
+// time.Time monotonic clocks).
+func datasetDigest(t *testing.T, ds *Dataset) uint64 {
+	t.Helper()
+	var parts []string
+	for i, r := range ds.Records {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := json.Marshal(ds.Truth[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, string(b), string(truth))
+		parts = append(parts,
+			string(rune(ds.TrueInstance[i])),
+			string(rune(ds.VisitIndex[i])))
+	}
+	imgs, err := json.Marshal(ds.CanvasImages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpus, err := json.Marshal(ds.GPUImageInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts = append(parts, string(imgs), string(gpus))
+	return hashutil.HashStrings(parts...)
+}
+
+// TestSpillDigestEquality is the tentpole determinism gate: the spill
+// path must reproduce the in-memory Simulate byte-for-byte at every
+// worker count — the legacy serial stream (Workers 0) and the sharded
+// path (1 and 8).
+func TestSpillDigestEquality(t *testing.T) {
+	for _, workers := range []int{0, 1, 8} {
+		cfg := streamTestConfig(workers)
+		want := Simulate(cfg)
+		sd, err := SimulateSpill(cfg, StreamOptions{UsersPerBatch: 32})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := sd.Load()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sd.NumInstances != want.NumInstances {
+			t.Fatalf("workers=%d: NumInstances %d, want %d", workers, sd.NumInstances, want.NumInstances)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got.Records), len(want.Records))
+		}
+		if dg, dw := datasetDigest(t, got), datasetDigest(t, want); dg != dw {
+			t.Fatalf("workers=%d: stream digest %016x != in-memory %016x", workers, dg, dw)
+		}
+		if sd.Records != len(want.Records) {
+			t.Fatalf("workers=%d: spilled %d records, want %d", workers, sd.Records, len(want.Records))
+		}
+		if err := sd.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSpillBatchInvariance asserts batch size changes spill layout but
+// never output: tiny batches and one giant batch stream identically.
+func TestSpillBatchInvariance(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		cfg := streamTestConfig(workers)
+		var digests []uint64
+		var runs []int
+		for _, batch := range []int{7, 1000} {
+			sd, err := SimulateSpill(cfg, StreamOptions{UsersPerBatch: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := sd.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			digests = append(digests, datasetDigest(t, ds))
+			runs = append(runs, sd.Runs())
+			sd.Close()
+		}
+		if digests[0] != digests[1] {
+			t.Fatalf("workers=%d: batch=7 digest %016x != batch=1000 digest %016x",
+				workers, digests[0], digests[1])
+		}
+		if runs[0] <= runs[1] {
+			t.Fatalf("workers=%d: expected more runs at batch=7 (%d) than batch=1000 (%d)",
+				workers, runs[0], runs[1])
+		}
+	}
+}
+
+// TestSpillStreamOrder checks the merged stream is globally
+// (time, serial)-ordered and restreamable.
+func TestSpillStreamOrder(t *testing.T) {
+	cfg := streamTestConfig(4)
+	sd, err := SimulateSpill(cfg, StreamOptions{UsersPerBatch: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	for pass := 0; pass < 2; pass++ {
+		st, err := sd.Stream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev StreamItem
+		n := 0
+		for {
+			item, ok, err := st.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if n > 0 && itemLess(item, prev) {
+				t.Fatalf("pass %d: stream out of order at record %d", pass, n)
+			}
+			prev = item
+			n++
+		}
+		st.Close()
+		if n != sd.Records {
+			t.Fatalf("pass %d: streamed %d records, want %d", pass, n, sd.Records)
+		}
+	}
+}
+
+// TestSpillWriteFailure scripts a spill-file write fault: SimulateSpill
+// must fail loudly instead of recording a short run.
+func TestSpillWriteFailure(t *testing.T) {
+	cfg := streamTestConfig(1)
+	sd, err := SimulateSpill(cfg, StreamOptions{
+		UsersPerBatch: 50,
+		OpenFile: func(path string) (storage.SegmentFile, error) {
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			return &faultinject.File{F: f, Script: &faultinject.Script{FailAfter: 4096}}, nil
+		},
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		if sd != nil {
+			sd.Close()
+		}
+		t.Fatalf("want injected write error, got %v", err)
+	}
+	if sd != nil {
+		t.Fatal("SimulateSpill returned a dataset alongside an error")
+	}
+}
+
+// TestSpillTornSegment truncates a spilled run mid-frame: the merge
+// must surface a torn-frame error, never silently drop the tail.
+func TestSpillTornSegment(t *testing.T) {
+	cfg := streamTestConfig(1)
+	dir := t.TempDir()
+	sd, err := SimulateSpill(cfg, StreamOptions{UsersPerBatch: 50, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	path := filepath.Join(dir, "sim", "run-000000.seg")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sd.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sawErr := false
+	for {
+		_, ok, err := st.Next()
+		if err != nil {
+			if !errors.Is(err, storage.ErrTornFrame) {
+				t.Fatalf("want ErrTornFrame, got %v", err)
+			}
+			sawErr = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("torn spill segment streamed without error")
+	}
+}

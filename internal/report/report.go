@@ -93,19 +93,28 @@ func (r *Reporter) GroundTruth() *browserid.GroundTruth { return r.gt }
 
 // Summary prints the dataset header line.
 func (r *Reporter) Summary() {
-	fmt.Fprintf(r.w, "dataset: %d fingerprints, %d browser instances, %d users, %d dynamics (%d changed)\n\n",
-		len(r.ds.Records), r.gt.NumInstances(), len(r.gt.UserInstances), len(r.dyns), len(r.changed))
+	renderSummary(r.w, len(r.ds.Records), r.gt.NumInstances(), len(r.gt.UserInstances), len(r.dyns), len(r.changed))
+}
+
+// renderSummary is the header line both the in-memory and the streaming
+// reporter print — byte-identical given the same counts.
+func renderSummary(w io.Writer, records, instances, users, dyns, changed int) {
+	fmt.Fprintf(w, "dataset: %d fingerprints, %d browser instances, %d users, %d dynamics (%d changed)\n\n",
+		records, instances, users, dyns, changed)
 }
 
 // Estimate prints the §2.3.3 browser-ID error estimation.
 func (r *Reporter) Estimate() {
-	e := r.gt.Estimate()
-	fmt.Fprintln(r.w, "§2.3.3 browser-ID error estimation")
-	fmt.Fprintf(r.w, "  abnormal shared-cookie rate: %.3f%% (paper: ~0.5%%)\n", 100*e.AbnormalSharedCookieRate)
-	fmt.Fprintf(r.w, "  cookie-clearing share:       %.1f%%  (paper: ~32%%)\n", 100*e.CookieClearingShare)
-	fmt.Fprintf(r.w, "  estimated false negatives:   %.3f%% (paper: ~0.3%%)\n", 100*e.FalseNegativeRate)
-	fmt.Fprintf(r.w, "  estimated false positives:   %.3f%% (paper: ~0.1%%)\n", 100*e.FalsePositiveRate)
-	fmt.Fprintf(r.w, "  multi-browser users:         %.1f%%  (paper: 14%%+)\n\n", 100*r.gt.MultiBrowserUserShare())
+	renderEstimate(r.w, r.gt.Estimate(), r.gt.MultiBrowserUserShare())
+}
+
+func renderEstimate(w io.Writer, e browserid.Rates, multiShare float64) {
+	fmt.Fprintln(w, "§2.3.3 browser-ID error estimation")
+	fmt.Fprintf(w, "  abnormal shared-cookie rate: %.3f%% (paper: ~0.5%%)\n", 100*e.AbnormalSharedCookieRate)
+	fmt.Fprintf(w, "  cookie-clearing share:       %.1f%%  (paper: ~32%%)\n", 100*e.CookieClearingShare)
+	fmt.Fprintf(w, "  estimated false negatives:   %.3f%% (paper: ~0.3%%)\n", 100*e.FalseNegativeRate)
+	fmt.Fprintf(w, "  estimated false positives:   %.3f%% (paper: ~0.1%%)\n", 100*e.FalsePositiveRate)
+	fmt.Fprintf(w, "  multi-browser users:         %.1f%%  (paper: 14%%+)\n\n", 100*multiShare)
 }
 
 // Fig2 prints the identifiability-vs-anonymous-set-size table.
@@ -234,8 +243,14 @@ func (r *Reporter) Fig7() {
 
 // Table2 prints the classification of fingerprint dynamics.
 func (r *Reporter) Table2() {
-	b := dynamics.Analyze(r.changed, r.cl, r.gt.NumInstances())
-	fmt.Fprintln(r.w, "Table 2: classification of fingerprint dynamics")
+	renderTable2(r.w, dynamics.Analyze(r.changed, r.cl, r.gt.NumInstances()))
+}
+
+// renderTable2 renders a Breakdown as Table 2. The streaming reporter
+// produces the same Breakdown from its bounded-memory accumulator, so
+// both paths print identical bytes.
+func renderTable2(w io.Writer, b *dynamics.Breakdown) {
+	fmt.Fprintln(w, "Table 2: classification of fingerprint dynamics")
 	rows := [][]string{{"Category", "% of Changes", "% of Browser IDs"}}
 	subRows := func(byKey, instByKey map[string]int) {
 		keys := make([]string, 0, len(byKey))
@@ -303,11 +318,11 @@ func (r *Reporter) Table2() {
 		"Total (instances with ≥1 change)", "100%",
 		fmt.Sprintf("%.2f%%", b.PctInstances(b.InstancesWithChange)),
 	})
-	textplot.Table(r.w, rows)
+	textplot.Table(w, rows)
 	if b.Unclassified > 0 {
-		fmt.Fprintf(r.w, "(unclassified: %d of %d)\n", b.Unclassified, b.TotalChanged)
+		fmt.Fprintf(w, "(unclassified: %d of %d)\n", b.Unclassified, b.TotalChanged)
 	}
-	fmt.Fprintln(r.w)
+	fmt.Fprintln(w)
 }
 
 // Fig8 renders the Samsung 6.2 emoji update and its pixel diff.

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"fpdyn/internal/dynamics"
+	"fpdyn/internal/faultinject"
+	"fpdyn/internal/obs"
+	"fpdyn/internal/population"
+	"fpdyn/internal/storage"
+)
+
+// inMemorySections renders the streaming-computable sections with the
+// legacy Reporter.
+func inMemorySections(t *testing.T, ds *population.Dataset) string {
+	t.Helper()
+	var buf bytes.Buffer
+	r := New(ds, &buf)
+	r.Summary()
+	r.Estimate()
+	r.Table2()
+	return buf.String()
+}
+
+// TestStreamReportMatchesInMemory is the consumer-side determinism
+// gate: the streaming pipeline's Summary/Estimate/Table2 must print the
+// exact bytes the in-memory Reporter prints, for every worker count and
+// chunk size — including chunk sizes small enough to split instances
+// across chunks.
+func TestStreamReportMatchesInMemory(t *testing.T) {
+	cfg := population.DefaultConfig(200)
+	cfg.Seed = 11
+	ds := population.Simulate(cfg)
+	want := inMemorySections(t, ds)
+
+	for _, tc := range []struct {
+		workers, chunk int
+	}{
+		{1, 8192},
+		{1, 17}, // chunks split instance runs
+		{8, 8192},
+		{8, 17},
+	} {
+		var buf bytes.Buffer
+		sr, err := NewStream(SliceSource(ds.Records), dynamics.MapImages(ds.CanvasImages), &buf,
+			StreamOptions{Workers: tc.workers, ChunkSize: tc.chunk})
+		if err != nil {
+			t.Fatalf("workers=%d chunk=%d: %v", tc.workers, tc.chunk, err)
+		}
+		sr.Summary()
+		sr.Estimate()
+		sr.Table2()
+		if got := buf.String(); got != want {
+			t.Fatalf("workers=%d chunk=%d: stream output differs from in-memory:\n--- stream ---\n%s\n--- in-memory ---\n%s",
+				tc.workers, tc.chunk, got, want)
+		}
+	}
+}
+
+// TestStreamReportFromSpill runs the full out-of-core chain — spilled
+// simulation feeding the streaming report — and checks it against the
+// fully in-memory pipeline.
+func TestStreamReportFromSpill(t *testing.T) {
+	cfg := population.DefaultConfig(150)
+	cfg.Seed = 3
+	cfg.Workers = 2
+	want := inMemorySections(t, population.Simulate(cfg))
+
+	sd, err := population.SimulateSpill(cfg, population.StreamOptions{UsersPerBatch: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	sr, err := NewStream(SpillSource(sd), dynamics.MapImages(sd.CanvasImages), &buf,
+		StreamOptions{Workers: 2, ChunkSize: 64, SpillDir: sd.SpillRoot(), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Summary()
+	sr.Estimate()
+	sr.Table2()
+	if got := buf.String(); got != want {
+		t.Fatalf("spill-fed stream output differs:\n--- stream ---\n%s\n--- in-memory ---\n%s", got, want)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters[`extsort_runs_total{sort="regroup"}`] == 0 {
+		t.Fatal("regroup sort spilled no runs at ChunkSize=64")
+	}
+}
+
+// TestStreamReportSpillFault injects a write failure into the regroup
+// spill: the pipeline must surface it, not drop records.
+func TestStreamReportSpillFault(t *testing.T) {
+	cfg := population.DefaultConfig(80)
+	ds := population.Simulate(cfg)
+	_, err := NewStream(SliceSource(ds.Records), dynamics.MapImages(ds.CanvasImages), os.Stderr,
+		StreamOptions{
+			ChunkSize: 32,
+			OpenFile: func(path string) (storage.SegmentFile, error) {
+				f, err := os.Create(path)
+				if err != nil {
+					return nil, err
+				}
+				return &faultinject.File{F: f, Script: &faultinject.Script{FailAfter: 1024}}, nil
+			},
+		})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected spill error, got %v", err)
+	}
+}

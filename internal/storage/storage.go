@@ -318,6 +318,37 @@ type snapshotLine struct {
 	Value  []byte              `json:"val,omitempty"`
 }
 
+// SnapshotWriter writes a store snapshot incrementally, record by
+// record, without materializing a Store — the streaming generator's
+// path to the same JSONL format. Values (content-addressed canvas
+// blobs) must be written first, in sorted hash order, to match
+// WriteTo's byte layout; for record-only snapshots just stream the
+// records. Close flushes; bufio's sticky error surfaces any earlier
+// write failure there.
+type SnapshotWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewSnapshotWriter wraps w in a buffered snapshot encoder.
+func NewSnapshotWriter(w io.Writer) *SnapshotWriter {
+	bw := bufio.NewWriterSize(w, 1<<18)
+	return &SnapshotWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Value writes one content-addressed value line.
+func (sw *SnapshotWriter) Value(hash string, val []byte) error {
+	return sw.enc.Encode(snapshotLine{Hash: hash, Value: val})
+}
+
+// Record writes one record line.
+func (sw *SnapshotWriter) Record(r *fingerprint.Record) error {
+	return sw.enc.Encode(snapshotLine{Record: r})
+}
+
+// Close flushes the buffer (it does not close the underlying writer).
+func (sw *SnapshotWriter) Close() error { return sw.bw.Flush() }
+
 // sortedValueHashesLocked returns the value hashes in lexical order so
 // every serialization of the same state is byte-identical. Callers
 // hold s.mu.

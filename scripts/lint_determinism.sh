@@ -6,13 +6,15 @@
 # function of (data, config): any call to time.Now, the global
 # math/rand functions (which draw from a shared, unseeded source), or a
 # stray JS-style Date.now breaks replayability of every figure, golden
-# file and trained model.
+# file and trained model. The external sorter (internal/extsort) backs
+# the streaming pipeline's spill/merge path and is held to the same
+# rule: the merged stream must be a pure function of the pushed items.
 #
 # Test files are exempt: they may time things or exercise randomness.
 set -u
 
 fail=0
-for dir in internal/population internal/canvas internal/mlearn; do
+for dir in internal/population internal/canvas internal/mlearn internal/extsort; do
     for f in "$dir"/*.go; do
         case "$f" in
         *_test.go) continue ;;
