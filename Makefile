@@ -5,7 +5,7 @@ GO ?= go
 BENCHTIME_MATCH ?= 2000x
 BENCHTIME_PIPELINE ?= 3x
 
-.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest bench-1m chaos
+.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest bench-linkd bench-1m chaos
 
 ## check: the full gate — build, vet, determinism lint, and the
 ## race-enabled test suite. The worker-pool primitives behind the
@@ -22,11 +22,13 @@ check: lint-determinism
 	$(GO) vet ./internal/obs/
 	$(GO) vet ./internal/mlearn/
 	$(GO) vet ./internal/extsort/
+	$(GO) vet ./internal/linkd/
 	$(GO) test -race ./internal/parallel/
 	$(GO) test -race ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/mlearn/
 	$(GO) test -race ./internal/extsort/
+	$(GO) test -race ./internal/linkd/
 	$(GO) test -race -run 'TestSpill|TestStreamReport' ./internal/population/ ./internal/report/
 	$(GO) test -race ./...
 
@@ -41,7 +43,7 @@ lint-determinism:
 ## fsync faults, drain semantics, and seq-based idempotency — all under
 ## the race detector.
 chaos:
-	$(GO) test -race -count=3 -run 'TestChaos|TestRecover|TestShutdown|TestSeqIdempotent|TestWAL' ./internal/collector/ ./internal/storage/
+	$(GO) test -race -count=3 -run 'TestChaos|TestRecover|TestShutdown|TestSeqIdempotent|TestWAL' ./internal/collector/ ./internal/storage/ ./internal/linkd/
 
 build:
 	$(GO) build ./...
@@ -86,6 +88,14 @@ bench-1m:
 ## overrides the default 2500-user world.
 bench-forest:
 	BENCH_FOREST_OUT=BENCH_forest.json $(GO) test -run TestEmitForestBench -v -timeout 30m .
+
+## bench-linkd: the linking-service snapshot (BENCH_linkd.json): TopK
+## query p50/p95/p99 at 100k and 1M table entries, rule-based and
+## learning-based modes. BENCH_LINKD_ENTRIES overrides the table sizes
+## (comma-separated, e.g. BENCH_LINKD_ENTRIES=100000), and
+## BENCH_LINKD_QUERIES the per-cell query count (default 200).
+bench-linkd:
+	BENCH_LINKD_OUT=BENCH_linkd.json $(GO) test -run TestEmitLinkdBench -v -timeout 120m .
 
 ## bench-ingest: the collection-path snapshot (BENCH_ingest.json):
 ## accepted records/sec and per-record ACK p50/p99 across 1/4/8 shards

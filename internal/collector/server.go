@@ -371,23 +371,25 @@ func (cr countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// errFrameTooLong mirrors bufio.ErrTooLong for the reader-based line
-// framing below.
-var errFrameTooLong = errors.New("request frame too large")
+// ErrFrameTooLong mirrors bufio.ErrTooLong for the reader-based line
+// framing below. Exported so other servers sharing the hello-negotiated
+// framing (internal/linkd) report the same condition.
+var ErrFrameTooLong = errors.New("request frame too large")
 
-// readLine accumulates one newline-terminated request from br, bounded
+// ReadLine accumulates one newline-terminated request from br, bounded
 // by maxLine. Unlike bufio.Scanner it reads through a plain
 // *bufio.Reader, so bytes the reader has buffered past the line — the
 // first binary frame a pipelining client sent right behind its hello —
 // survive a mid-connection framing switch instead of being discarded
-// with the scanner.
-func readLine(br *bufio.Reader, maxLine int) ([]byte, error) {
+// with the scanner. Exported for servers that share the collector's
+// line-then-binary framing convention.
+func ReadLine(br *bufio.Reader, maxLine int) ([]byte, error) {
 	var line []byte
 	for {
 		frag, err := br.ReadSlice('\n')
 		line = append(line, frag...)
 		if len(line) > maxLine+1 { // +1: the delimiter is not payload
-			return nil, errFrameTooLong
+			return nil, ErrFrameTooLong
 		}
 		switch {
 		case err == nil:
@@ -427,20 +429,20 @@ func (s *Server) handle(conn net.Conn) error {
 		if binary {
 			payload, err = storage.ReadFrame(br, s.maxFrame())
 			if errors.Is(err, storage.ErrFrameSize) {
-				err = errFrameTooLong
+				err = ErrFrameTooLong
 			}
 		} else {
-			payload, err = readLine(br, s.maxFrame())
+			payload, err = ReadLine(br, s.maxFrame())
 		}
 		if err != nil {
 			switch {
 			case errors.Is(err, io.EOF):
 				return io.EOF
-			case errors.Is(err, errFrameTooLong):
+			case errors.Is(err, ErrFrameTooLong):
 				// Best-effort rejection before hanging up.
 				s.metrics.framesRejected.Inc()
 				s.writeResponse(conn, enc, binary, &wbuf, &Response{Type: TypeError, Error: "request exceeds frame limit"})
-				return errFrameTooLong
+				return ErrFrameTooLong
 			case s.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded):
 				return nil // drained: the connection went idle past the grace
 			default:

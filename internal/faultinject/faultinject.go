@@ -42,6 +42,16 @@ type Script struct {
 	tripped bool
 }
 
+// Stalled sleeps for the script's Stall duration, if any — a
+// compute-path fault point for code with no byte stream to wrap
+// (linkd injects it into the scoring path to simulate slow queries in
+// overload tests). Nil-safe and free when Stall is zero.
+func (s *Script) Stalled() {
+	if s != nil && s.Stall > 0 {
+		time.Sleep(s.Stall)
+	}
+}
+
 // Tripped reports whether the byte-budget fault has fired.
 func (s *Script) Tripped() bool {
 	if s == nil {

@@ -1,0 +1,234 @@
+package fpstalker
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/mlearn"
+)
+
+// dynamicLinkers builds one instance of each variant for a table-driven
+// DynamicLinker test.
+func dynamicLinkers(t *testing.T, records []*fingerprint.Record, instances []int) []struct {
+	name string
+	mk   func() DynamicLinker
+} {
+	t.Helper()
+	forest, err := TrainPairModel(records, instances,
+		mlearn.ForestConfig{Seed: 3, NumTrees: 5, MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		mk   func() DynamicLinker
+	}{
+		{"rule", func() DynamicLinker { return NewRuleLinker() }},
+		{"learning", func() DynamicLinker { return NewLearnLinker(forest) }},
+	}
+}
+
+// TestRemoveDigestEquivalence: an add/remove sequence must leave the
+// linker indistinguishable — digest and rankings — from a fresh build
+// over the surviving set. This is the crash-recovery contract linkd's
+// compaction relies on.
+func TestRemoveDigestEquivalence(t *testing.T) {
+	records, instances := engineWorld(t, 300, 81)
+	for _, tc := range dynamicLinkers(t, records, instances) {
+		t.Run(tc.name, func(t *testing.T) {
+			churned := tc.mk()
+			for i, rec := range records {
+				churned.Add(InstanceID(instances[i]), rec)
+			}
+			// Evict every third instance (including swap-moved slots and
+			// entries in every bucket flavour).
+			removed := make(map[string]bool)
+			for i := 0; i < len(records); i += 3 {
+				id := InstanceID(instances[i])
+				if removed[id] {
+					continue
+				}
+				if !churned.Remove(id) {
+					t.Fatalf("Remove(%q) = false for a known instance", id)
+				}
+				removed[id] = true
+			}
+			if churned.Remove("no-such-instance") {
+				t.Fatal("Remove of an unknown id reported true")
+			}
+
+			fresh := tc.mk()
+			for i, rec := range records {
+				if id := InstanceID(instances[i]); !removed[id] {
+					fresh.Add(id, rec)
+				}
+			}
+			if churned.Len() != fresh.Len() {
+				t.Fatalf("Len after churn = %d, fresh = %d", churned.Len(), fresh.Len())
+			}
+			if cd, fd := churned.IndexDigest(), fresh.IndexDigest(); cd != fd {
+				t.Fatalf("digest diverged after remove churn: %s vs fresh %s", cd, fd)
+			}
+			for qi, q := range goldenQueries(records) {
+				want := fresh.TopK(q, 10)
+				got := churned.TopK(q, 10)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("query %d: churned ranking diverged\n fresh:   %v\n churned: %v", qi, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTopKCtxMatchesTopK: a live (non-canceled) context must not
+// change rankings relative to the nil-ctx fast path.
+func TestTopKCtxMatchesTopK(t *testing.T) {
+	records, instances := engineWorld(t, 300, 82)
+	for _, tc := range dynamicLinkers(t, records, instances) {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.mk()
+			for i, rec := range records {
+				l.Add(InstanceID(instances[i]), rec)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			for qi, q := range goldenQueries(records) {
+				want := l.TopK(q, 10)
+				got, err := l.TopKCtx(ctx, q, 10)
+				if err != nil {
+					t.Fatalf("query %d: TopKCtx error: %v", qi, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("query %d: ctx ranking diverged\n nil ctx: %v\n ctx:     %v", qi, want, got)
+				}
+				// context.Background has no Done channel: exercises the
+				// non-cancelable fast path too.
+				got2, err := l.TopKCtx(context.Background(), q, 10)
+				if err != nil || !reflect.DeepEqual(want, got2) {
+					t.Fatalf("query %d: background-ctx path diverged (%v): %v", qi, err, got2)
+				}
+			}
+		})
+	}
+}
+
+// TestTopKCtxCanceled: an already-expired context must abort the scan
+// and surface the context error instead of burning through the table.
+func TestTopKCtxCanceled(t *testing.T) {
+	records, instances := engineWorld(t, 300, 83)
+	for _, tc := range dynamicLinkers(t, records, instances) {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.mk()
+			for i, rec := range records {
+				l.Add(InstanceID(instances[i]), rec)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			for qi, q := range goldenQueries(records) {
+				cands, err := l.TopKCtx(ctx, q, 10)
+				// The exact-match index can answer before any scan runs;
+				// everything else must report cancellation.
+				if err == nil && len(cands) > 0 && cands[0].Score >= 1e9 {
+					continue
+				}
+				if err != context.Canceled {
+					t.Fatalf("query %d: err = %v (cands %v), want context.Canceled", qi, err, cands)
+				}
+				if cands != nil {
+					t.Fatalf("query %d: canceled query still returned candidates: %v", qi, cands)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAddRemoveTopK extends the Add/TopK interleave proof
+// with concurrent eviction — the workload linkd's window evictor runs
+// against live queries. Under -race this is the thread-safety proof
+// for Remove and the swap-delete index repair.
+func TestConcurrentAddRemoveTopK(t *testing.T) {
+	records, instances := trainWorld(t, 200, 84)
+	for _, tc := range dynamicLinkers(t, records[:len(records)/2], instances[:len(records)/2]) {
+		t.Run(tc.name, func(t *testing.T) {
+			l := tc.mk()
+			// Preload half so removers have something to chew on from the
+			// first tick.
+			half := len(records) / 2
+			for i := 0; i < half; i++ {
+				l.Add(InstanceID(instances[i]), records[i])
+			}
+			const writers, removers, readers = 3, 2, 3
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := half + w; i < len(records); i += writers {
+						l.Add(InstanceID(instances[i]), records[i])
+					}
+				}(w)
+			}
+			for r := 0; r < removers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := r; i < len(records); i += 2 * removers {
+						l.Remove(InstanceID(instances[i]))
+					}
+				}(r)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := r; i < len(records); i += 3 * readers {
+						if _, err := l.TopKCtx(ctx, evolvedFrom(records[i], i), 10); err != nil {
+							t.Errorf("TopKCtx: %v", err)
+							return
+						}
+						l.Len()
+					}
+					l.IndexDigest()
+				}(r)
+			}
+			wg.Wait()
+
+			// The index must still be coherent: every survivor reachable,
+			// digest computable without panic.
+			if l.IndexDigest() == "" {
+				t.Fatal("empty digest after churn")
+			}
+		})
+	}
+}
+
+// TestTopKCtxDeadlinePrompt: a short deadline against a large
+// NoBlocking scan with an expensive scorer must return promptly — the
+// deadline-propagation guarantee, not just an error code.
+func TestTopKCtxDeadlinePrompt(t *testing.T) {
+	records, instances := engineWorld(t, 400, 85)
+	l := NewRuleLinker()
+	l.NoBlocking = true
+	l.Workers = 1
+	for i, rec := range records {
+		l.Add(InstanceID(instances[i]), rec)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure expiry before the scan starts
+	start := time.Now()
+	q := evolvedFrom(records[1], 1)
+	_, err := l.TopKCtx(ctx, q, 10)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("canceled scan took %v — cancellation not prompt", d)
+	}
+}

@@ -1,9 +1,13 @@
 package fpstalker
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
+	"fpdyn/internal/hashutil"
 	"fpdyn/internal/useragent"
 )
 
@@ -92,6 +96,85 @@ func (g *engine) add(id string, e *entry) (int, *entry) {
 	g.byID[id] = i
 	g.index(e, i)
 	return i, nil
+}
+
+// remove deletes id's entry from the table and every blocking
+// structure. The vacated slot is filled by swap-moving the last entry
+// down, so the table stays dense; the moved entry (nil if the removed
+// one was last) is returned along with its new index so callers that
+// keep side indexes over table positions (the rule linker's exact-match
+// hash index) can re-point them. Callers must hold mu.
+func (g *engine) remove(id string) (removed, moved *entry, movedTo int) {
+	i, ok := g.byID[id]
+	if !ok {
+		return nil, nil, 0
+	}
+	e := g.entries[i]
+	g.unindex(e, i)
+	delete(g.byID, id)
+	last := len(g.entries) - 1
+	if i != last {
+		m := g.entries[last]
+		g.entries[i] = m
+		g.byID[m.id] = i
+		// Re-point every blocking bucket holding the moved entry from
+		// its old slot to its new one.
+		g.unindex(m, last)
+		g.index(m, i)
+		moved, movedTo = m, i
+	}
+	g.entries[last] = nil // release the entry for GC
+	g.entries = g.entries[:last]
+	return e, moved, movedTo
+}
+
+// indexDigest is a canonical SHA-1 over the entry table and every
+// blocking structure: entries sorted by instance ID with their
+// fingerprint hash and timestamp, then each bucket rendered as its key
+// plus the sorted member IDs. Bucket *order* is deliberately excluded —
+// swap-deletes reorder buckets without changing rankings — so a
+// recovered engine that replayed the same adds and evictions digests
+// identically to one that never crashed. Callers must hold mu (read
+// side suffices).
+func (g *engine) indexDigest() string {
+	var lines []string
+	for id, i := range g.byID {
+		e := g.entries[i]
+		lines = append(lines, fmt.Sprintf("entry %s %016x %d %t",
+			id, e.rec.FP.Hash(false), e.rec.Time.UnixNano(), e.ok))
+	}
+	for k, bucket := range g.blocks {
+		lines = append(lines, "block "+fmt.Sprintf("%s|%s|%t|%t|%t", k.browser, k.os, k.mobile, k.cookie, k.localStorage)+bucketIDs(g, bucket))
+	}
+	for k, bucket := range g.fams {
+		lines = append(lines, "fam "+fmt.Sprintf("%s|%t", k.browser, k.mobile)+bucketIDs(g, bucket))
+	}
+	for ua, bucket := range g.raw {
+		lines = append(lines, "raw "+ua+bucketIDs(g, bucket))
+	}
+	lines = append(lines, "unparsed"+bucketIDs(g, g.unparsed))
+	sort.Strings(lines)
+	var b []byte
+	for _, l := range lines {
+		b = append(b, l...)
+		b = append(b, '\n')
+	}
+	return hashutil.SHA1HexBytes(b)
+}
+
+// bucketIDs renders a bucket's member instance IDs, sorted.
+func bucketIDs(g *engine, bucket []int) string {
+	ids := make([]string, len(bucket))
+	for j, i := range bucket {
+		ids[j] = g.entries[i].id
+	}
+	sort.Strings(ids)
+	var b []byte
+	for _, id := range ids {
+		b = append(b, ' ')
+		b = append(b, id...)
+	}
+	return string(b)
 }
 
 // entryBlockKey is the rule-variant bucket of a parsed entry.
@@ -196,11 +279,14 @@ var candPool = sync.Pool{New: func() any { return new([]Candidate) }}
 // k as a fresh slice. workers ≤ 0 sizes the pool to GOMAXPROCS;
 // workers == 1 or a small candidate set keeps it serial. Parallel
 // chunks are merged before the deterministic sort, so blocked,
-// parallel and serial runs return identical rankings. Callers must
-// hold mu (read side suffices: scoring never mutates the table).
-func (g *engine) scoreTopK(cand []int, all bool, workers, k int, score func(*entry) (float64, bool)) []Candidate {
+// parallel and serial runs return identical rankings. A non-nil ctx is
+// polled between cancelSlice-sized index ranges: a canceled query
+// stops scoring mid-scan and returns ctx's error instead of burning
+// CPU on an answer nobody is waiting for. Callers must hold mu (read
+// side suffices: scoring never mutates the table).
+func (g *engine) scoreTopK(ctx context.Context, cand []int, all bool, workers, k int, score func(*entry) (float64, bool)) ([]Candidate, error) {
 	at, n := g.candAt(cand, all)
-	return g.rankChunks(n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
+	return g.rankChunks(ctx, n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
 		for j := lo; j < hi; j++ {
 			e := at(j)
 			if s, ok := score(e); ok {
@@ -228,9 +314,9 @@ var blockPool = sync.Pool{New: func() any {
 // receives up to scoreBlock entries and appends the accepted ones to
 // out, preserving block order, so the merged ranking is identical to
 // the per-entry path. Callers must hold mu.
-func (g *engine) scoreTopKBatch(cand []int, all bool, workers, k int, score func(es []*entry, out []Candidate) []Candidate) []Candidate {
+func (g *engine) scoreTopKBatch(ctx context.Context, cand []int, all bool, workers, k int, score func(es []*entry, out []Candidate) []Candidate) ([]Candidate, error) {
 	at, n := g.candAt(cand, all)
-	return g.rankChunks(n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
+	return g.rankChunks(ctx, n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
 		bp := blockPool.Get().(*[]*entry)
 		block := *bp
 		for lo < hi {
@@ -257,19 +343,54 @@ func (g *engine) candAt(cand []int, all bool) (at func(int) *entry, n int) {
 	return func(j int) *entry { return g.entries[cand[j]] }, len(cand)
 }
 
+// cancelSlice is the index-range granularity at which a ctx-carrying
+// query polls for cancellation: coarse enough that the poll (one atomic
+// read inside ctx.Err) vanishes against scoring 4096 candidates, fine
+// enough that a timed-out scan over a million-entry bucket stops within
+// a fraction of a millisecond of the deadline. A multiple of scoreBlock
+// so slicing never splits a batch block.
+const cancelSlice = 4096
+
+// runSliced invokes run over [lo, hi) in cancelSlice-sized sub-ranges,
+// polling ctx between them; sub-ranges are visited in ascending index
+// order, so the appended output is identical to one run(lo, hi) call.
+// Returns false as soon as ctx is canceled.
+func runSliced(ctx context.Context, lo, hi int, out *[]Candidate, run func(lo, hi int, out []Candidate) []Candidate) bool {
+	for lo < hi {
+		if ctx.Err() != nil {
+			return false
+		}
+		end := min(lo+cancelSlice, hi)
+		*out = run(lo, end, *out)
+		lo = end
+	}
+	return true
+}
+
 // rankChunks runs the chunked scoring loop shared by the per-entry and
 // batch scorers: run(lo, hi, out) scores index range [lo, hi) appending
 // accepted candidates in index order. Parallel chunks are merged in
 // chunk order before the deterministic top-k selection, so every
-// (workers, chunking) configuration returns identical rankings.
-func (g *engine) rankChunks(n, workers, k int, run func(lo, hi int, out []Candidate) []Candidate) []Candidate {
+// (workers, chunking, ctx) configuration returns identical rankings.
+// A nil ctx (the plain TopK path) adds no per-candidate cost; a
+// canceled non-nil ctx aborts the scan and returns ctx's error.
+func (g *engine) rankChunks(ctx context.Context, n, workers, k int, run func(lo, hi int, out []Candidate) []Candidate) ([]Candidate, error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // context.Background etc: not cancelable, skip the polling
+	}
 	bufp := candPool.Get().(*[]Candidate)
 	buf := (*bufp)[:0]
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || n < minParallel {
-		buf = run(0, n, buf)
+		if ctx == nil {
+			buf = run(0, n, buf)
+		} else if !runSliced(ctx, 0, n, &buf, run) {
+			*bufp = buf[:0]
+			candPool.Put(bufp)
+			return nil, ctx.Err()
+		}
 	} else {
 		if workers > n {
 			workers = n
@@ -287,7 +408,12 @@ func (g *engine) rankChunks(n, workers, k int, run func(lo, hi int, out []Candid
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				bp := candPool.Get().(*[]Candidate)
-				*bp = run(lo, hi, (*bp)[:0])
+				*bp = (*bp)[:0]
+				if ctx == nil {
+					*bp = run(lo, hi, *bp)
+				} else {
+					runSliced(ctx, lo, hi, bp, run)
+				}
 				parts[w] = bp
 			}(w, lo, hi)
 		}
@@ -300,11 +426,16 @@ func (g *engine) rankChunks(n, workers, k int, run func(lo, hi int, out []Candid
 			*bp = (*bp)[:0]
 			candPool.Put(bp)
 		}
+		if ctx != nil && ctx.Err() != nil {
+			*bufp = buf[:0]
+			candPool.Put(bufp)
+			return nil, ctx.Err()
+		}
 	}
 	res := topK(buf, k)
 	*bufp = buf[:0]
 	candPool.Put(bufp)
-	return res
+	return res, nil
 }
 
 // topK ranks candidates best-first and returns a copy of the leading

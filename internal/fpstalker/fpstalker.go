@@ -12,6 +12,7 @@
 package fpstalker
 
 import (
+	"context"
 	"slices"
 	"sort"
 	"time"
@@ -36,6 +37,26 @@ type Linker interface {
 	Add(id string, rec *fingerprint.Record)
 	// Len returns the number of known instances.
 	Len() int
+}
+
+// DynamicLinker extends Linker with the operations a long-running
+// service needs: cancellable queries, entry eviction, and a canonical
+// index digest for crash-recovery verification. Both variants
+// implement it.
+type DynamicLinker interface {
+	Linker
+	// TopKCtx is TopK with cooperative cancellation: a ctx that expires
+	// mid-scan aborts the scoring workers within a bounded number of
+	// candidates and returns ctx's error. A nil ctx never cancels and
+	// adds no overhead.
+	TopKCtx(ctx context.Context, rec *fingerprint.Record, k int) ([]Candidate, error)
+	// Remove evicts id's entry from the table and every index,
+	// reporting whether the instance was known.
+	Remove(id string) bool
+	// IndexDigest returns a canonical hash of the entry table and the
+	// blocking index — equal digests mean identical rankings for every
+	// query.
+	IndexDigest() string
 }
 
 // entry is the last known fingerprint of one instance, with preparsed

@@ -1,6 +1,7 @@
 package fpstalker
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -56,10 +57,35 @@ func (l *LearnLinker) Add(id string, rec *fingerprint.Record) {
 	l.eng.mu.Unlock()
 }
 
+// Remove implements DynamicLinker: it deletes id's entry from the
+// table and the blocking index, reporting whether the instance was
+// known. Safe for concurrent use with Add and TopK.
+func (l *LearnLinker) Remove(id string) bool {
+	l.eng.mu.Lock()
+	removed, _, _ := l.eng.remove(id)
+	l.eng.mu.Unlock()
+	return removed != nil
+}
+
+// IndexDigest implements DynamicLinker: a canonical digest over the
+// entry table and the blocking index.
+func (l *LearnLinker) IndexDigest() string {
+	l.eng.mu.RLock()
+	defer l.eng.mu.RUnlock()
+	return l.eng.indexDigest()
+}
+
 // TopK implements Linker.
 func (l *LearnLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
+	cands, _ := l.TopKCtx(nil, rec, k) // nil ctx: never canceled
+	return cands
+}
+
+// TopKCtx is TopK with cooperative cancellation; see
+// RuleLinker.TopKCtx for the contract.
+func (l *LearnLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k int) ([]Candidate, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	// One query-side entry per TopK: the UA parse and the feature keys
 	// are computed once here instead of once per candidate pair.
@@ -74,7 +100,7 @@ func (l *LearnLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 		return q.ok && e.ok && (q.ua.Browser != e.ua.Browser || q.ua.Mobile != e.ua.Mobile)
 	}
 	if l.ScalarScore {
-		return l.eng.scoreTopK(cand, all, l.Workers, k, func(e *entry) (float64, bool) {
+		return l.eng.scoreTopK(ctx, cand, all, l.Workers, k, func(e *entry) (float64, bool) {
 			if reject(e) {
 				return 0, false
 			}
@@ -90,7 +116,7 @@ func (l *LearnLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 	// pair vectors scored by a single forest pass (every tree walks the
 	// whole block before the next tree loads), instead of one forest
 	// walk per pair.
-	return l.eng.scoreTopKBatch(cand, all, l.Workers, k, func(es []*entry, out []Candidate) []Candidate {
+	return l.eng.scoreTopKBatch(ctx, cand, all, l.Workers, k, func(es []*entry, out []Candidate) []Candidate {
 		s := batchPool.Get().(*batchScratch)
 		kept, xs := s.kept[:0], s.xs[:0]
 		for _, e := range es {

@@ -1,7 +1,12 @@
 package fpstalker
 
 import (
+	"context"
+	"fmt"
+	"sort"
+
 	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/hashutil"
 )
 
 // RuleLinker is the rule-based FP-Stalker variant: a cascade of
@@ -70,10 +75,63 @@ func (l *RuleLinker) Add(id string, rec *fingerprint.Record) {
 	l.byHash[h] = append(l.byHash[h], i)
 }
 
+// Remove implements DynamicLinker: it deletes id's entry from the
+// table, the blocking index and the exact-match hash index. It reports
+// whether the instance was known. Safe for concurrent use with Add and
+// TopK — the eviction path of a long-running linker.
+func (l *RuleLinker) Remove(id string) bool {
+	l.eng.mu.Lock()
+	defer l.eng.mu.Unlock()
+	// The hash index must be fixed in two steps: drop the removed
+	// entry's old slot, then re-point the swap-moved entry (which held
+	// the table's last slot) to its new position.
+	i, known := l.eng.byID[id]
+	if !known {
+		return false
+	}
+	oldLast := len(l.eng.entries) - 1
+	removed, moved, movedTo := l.eng.remove(id)
+	removeFromBucket(l.byHash, removed.rec.FP.Hash(false), i)
+	if moved != nil {
+		h := moved.rec.FP.Hash(false)
+		removeFromBucket(l.byHash, h, oldLast)
+		l.byHash[h] = append(l.byHash[h], movedTo)
+	}
+	return true
+}
+
+// IndexDigest implements DynamicLinker: a canonical digest over the
+// entry table, the blocking index and the exact-match hash index.
+func (l *RuleLinker) IndexDigest() string {
+	l.eng.mu.RLock()
+	defer l.eng.mu.RUnlock()
+	var b []byte
+	b = append(b, l.eng.indexDigest()...)
+	lines := make([]string, 0, len(l.byHash))
+	for h, bucket := range l.byHash {
+		lines = append(lines, fmt.Sprintf("hash %016x%s", h, bucketIDs(l.eng, bucket)))
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		b = append(b, '\n')
+		b = append(b, line...)
+	}
+	return hashutil.SHA1HexBytes(b)
+}
+
 // TopK implements Linker.
 func (l *RuleLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
+	cands, _ := l.TopKCtx(nil, rec, k) // nil ctx: never canceled
+	return cands
+}
+
+// TopKCtx is TopK with cooperative cancellation: a ctx that expires
+// mid-scan stops the scoring workers within cancelSlice candidates and
+// returns ctx's error — the deadline-propagation contract fplinkd
+// relies on so a timed-out query stops consuming CPU.
+func (l *RuleLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k int) ([]Candidate, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	l.eng.mu.RLock()
 	defer l.eng.mu.RUnlock()
@@ -88,7 +146,7 @@ func (l *RuleLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 				}
 			}
 			if len(cands) > 0 {
-				return topK(cands, k)
+				return topK(cands, k), nil
 			}
 		}
 	}
@@ -106,7 +164,7 @@ func (l *RuleLinker) TopK(rec *fingerprint.Record, k int) []Candidate {
 		// the same set.
 		score = func(e *entry) (float64, bool) { return l.scoreBlocked(q, e) }
 	}
-	return l.eng.scoreTopK(cand, all, l.Workers, k, score)
+	return l.eng.scoreTopK(ctx, cand, all, l.Workers, k, score)
 }
 
 // score applies rules 2–5 and returns the similarity score. It is the

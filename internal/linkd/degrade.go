@@ -1,0 +1,58 @@
+package linkd
+
+// degrader is the hysteretic overload controller: it watches interval
+// samples of the shed rate and query p99 and decides which linker
+// variant serves queries. Sustained overload (DegradeAfter consecutive
+// samples over the high watermarks) switches to the rule-based linker;
+// sustained calm (RecoverAfter consecutive samples under the low
+// watermarks) switches back. The gap between watermarks plus the
+// consecutive-sample requirement is what prevents mode flapping when
+// load hovers near a threshold — a single spike changes nothing, and a
+// sample in the dead band resets both streaks, holding the current
+// mode.
+//
+// The controller is pure state over explicit inputs (no clocks, no
+// metric reads), so tests drive it sample by sample.
+type degrader struct {
+	// Enter degraded mode when shedRate > ShedHigh OR p99 > P99High
+	// for DegradeAfter consecutive samples.
+	ShedHigh float64
+	P99High  float64 // seconds
+	// Leave degraded mode when shedRate <= ShedLow AND p99 <= P99Low
+	// for RecoverAfter consecutive samples.
+	ShedLow      float64
+	P99Low       float64 // seconds
+	DegradeAfter int
+	RecoverAfter int
+
+	degraded  bool
+	badStreak int
+	okStreak  int
+}
+
+// sample feeds one interval observation and reports the mode after it
+// plus whether this sample flipped it.
+func (d *degrader) sample(shedRate, p99 float64) (degraded, changed bool) {
+	bad := shedRate > d.ShedHigh || p99 > d.P99High
+	good := shedRate <= d.ShedLow && p99 <= d.P99Low
+	switch {
+	case bad:
+		d.badStreak++
+		d.okStreak = 0
+	case good:
+		d.okStreak++
+		d.badStreak = 0
+	default: // dead band: hold the current mode, restart both streaks
+		d.badStreak = 0
+		d.okStreak = 0
+	}
+	if !d.degraded && d.badStreak >= d.DegradeAfter {
+		d.degraded = true
+		return true, true
+	}
+	if d.degraded && d.okStreak >= d.RecoverAfter {
+		d.degraded = false
+		return false, true
+	}
+	return d.degraded, false
+}

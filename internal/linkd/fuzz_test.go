@@ -1,0 +1,75 @@
+package linkd
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeRequest: every frame off the wire funnels through
+// DecodeRequest, so arbitrary bytes must never panic and must yield
+// exactly one of (typed error) or (request satisfying every protocol
+// invariant the dispatcher relies on). Mirrors storage's
+// FuzzDecodeSegment: seed with valid messages, let the fuzzer corrupt
+// them.
+func FuzzDecodeRequest(f *testing.F) {
+	seed := func(req *Request) {
+		payload, err := json.Marshal(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	rec := testRecord(1, tBase)
+	seed(&Request{Type: TypeHello, Framing: "binary"})
+	seed(&Request{Type: TypePing})
+	seed(&Request{Type: TypeAdd, ID: "i1", Record: rec})
+	seed(&Request{Type: TypeQuery, Record: rec, K: 5, DeadlineMS: 250})
+	seed(&Request{Type: TypeQuery, Record: rec}) // k defaulting path
+	f.Add([]byte(`{"type":"query","k":1000000,"record":{"fp":{}}}`))
+	f.Add([]byte(`{"type":"query","deadline_ms":-1,"record":{"fp":{}}}`))
+	f.Add([]byte(`{"type":"query","deadline_ms":999999999,"record":{"fp":{}}}`))
+	f.Add([]byte(`{"type":"add","id":"","record":{"fp":{}}}`))
+	f.Add([]byte(`{"type":"add","id":"x"}`))
+	f.Add([]byte(`{"type":""}`))
+	f.Add([]byte(`{"type":"reboot"}`))
+	f.Add([]byte(`{"type":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data) // must not panic
+		if err != nil {
+			if req != nil {
+				t.Fatalf("error %v with non-nil request %+v", err, req)
+			}
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("error not wrapped in ErrBadRequest: %v", err)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request with nil error")
+		}
+		switch req.Type {
+		case TypeHello, TypePing:
+		case TypeAdd:
+			if req.ID == "" || req.Record == nil || req.Record.FP == nil {
+				t.Fatalf("underspecified add passed validation: %+v", req)
+			}
+		case TypeQuery:
+			if req.Record == nil || req.Record.FP == nil {
+				t.Fatalf("query without record passed validation: %+v", req)
+			}
+			if req.K < 1 || req.K > MaxK {
+				t.Fatalf("query k %d outside [1, %d]", req.K, MaxK)
+			}
+			if req.DeadlineMS < 0 || req.DeadlineMS > MaxDeadlineMS {
+				t.Fatalf("query deadline %d outside [0, %d]", req.DeadlineMS, MaxDeadlineMS)
+			}
+		default:
+			t.Fatalf("unknown type %q passed validation", req.Type)
+		}
+	})
+}

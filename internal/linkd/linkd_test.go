@@ -1,0 +1,109 @@
+package linkd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/fpstalker"
+	"fpdyn/internal/mlearn"
+)
+
+// tBase anchors every test record's collect time.
+var tBase = time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC)
+
+// uaPool gives the blocking index a realistic spread of buckets.
+var uaPool = []string{
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/63.0.3239.132 Safari/537.36",
+	"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.140 Safari/537.36",
+	"Mozilla/5.0 (Windows NT 6.1; Win64; x64; rv:58.0) Gecko/20100101 Firefox/58.0",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_3) AppleWebKit/604.5.6 (KHTML, like Gecko) Version/11.0.3 Safari/604.5.6",
+	"Mozilla/5.0 (X11; Linux x86_64; rv:57.0) Gecko/20100101 Firefox/57.0",
+}
+
+// testRecord builds a deterministic fingerprint record for instance i
+// observed at t. Records of one instance share stable features;
+// canvas varies per instance so fingerprints are distinct.
+func testRecord(i int, t time.Time) *fingerprint.Record {
+	return &fingerprint.Record{
+		Time:   t,
+		UserID: fmt.Sprintf("u%d", i),
+		FP: &fingerprint.Fingerprint{
+			UserAgent: uaPool[i%len(uaPool)],
+			Accept:    "text/html", Encoding: "gzip, deflate, br", Language: "en-US,en;q=0.9",
+			HeaderList:    []string{"Host", "User-Agent"},
+			Plugins:       []string{"Chrome PDF Plugin"},
+			CookieEnabled: true, WebGL: true, LocalStorage: true,
+			TimezoneOffset:   60,
+			Languages:        []string{"en-US"},
+			Fonts:            []string{"Arial", "Calibri", fmt.Sprintf("Font-%d", i%7)},
+			CanvasHash:       fmt.Sprintf("canvas-%d", i),
+			GPUVendor:        "NVIDIA Corporation",
+			GPURenderer:      "GeForce GTX 970",
+			GPUType:          "ANGLE (Direct3D11)",
+			CPUCores:         4,
+			CPUClass:         "x86",
+			AudioInfo:        "channels:2;rate:44100",
+			ScreenResolution: "1920x1080",
+			ColorDepth:       24, PixelRatio: "1",
+			ConsLanguage: true, ConsResolution: true, ConsOS: true, ConsBrowser: true,
+			GPUImageHash: fmt.Sprintf("gpu-%d", i%11),
+		},
+	}
+}
+
+// evolvedQuery derives a plausible non-exact query from instance i's
+// record — same stable features, drifted timezone (the dynamic the
+// test forest is trained on, see testForest).
+func evolvedQuery(i int, t time.Time) *fingerprint.Record {
+	rec := testRecord(i, t)
+	rec.FP.TimezoneOffset = 240
+	return rec
+}
+
+// fakeClock is the injectable deterministic clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock(t time.Time) *fakeClock { return &fakeClock{t: t} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testForest trains a tiny pair model over the synthetic record
+// stream — enough structure for the learning linker to rank with.
+var (
+	forestOnce sync.Once
+	forestVal  *mlearn.Forest
+	forestErr  error
+)
+
+func testForest() (*mlearn.Forest, error) {
+	forestOnce.Do(func() {
+		var records []*fingerprint.Record
+		var instances []int
+		for i := 0; i < 120; i++ {
+			for v := 0; v < 3; v++ { // repeat visits → positive pairs
+				rec := testRecord(i, tBase.Add(time.Duration(i*3+v)*time.Hour))
+				rec.FP.TimezoneOffset = 60 * (v + 1) // within-instance drift
+				records = append(records, rec)
+				instances = append(instances, i)
+			}
+		}
+		forestVal, forestErr = fpstalker.TrainPairModel(records, instances,
+			mlearn.ForestConfig{Seed: 5, NumTrees: 5, MaxDepth: 5})
+	})
+	return forestVal, forestErr
+}

@@ -1,0 +1,91 @@
+package linkd
+
+import (
+	"container/heap"
+	"time"
+)
+
+// windowEvictor tracks the record time of every live instance and
+// yields the ones whose latest observation has slid out of the collect
+// window. Times come from the records themselves (the paper's
+// collect-period semantics: an instance is retained while it has an
+// observation inside the window), and "now" is always injected, so
+// eviction is a pure function of (adds, now) — the property the chaos
+// test leans on to compare a recovered service against a never-crashed
+// reference.
+//
+// Re-adds are handled lazily: each add pushes a heap item and records
+// the instance's latest time in last; popped items whose time no
+// longer matches last are stale and skipped. The heap is therefore
+// bounded by adds, not instances, and shrinks as stale items surface.
+type windowEvictor struct {
+	h    windowHeap
+	last map[string]time.Time // instance → time of its latest add
+}
+
+type windowItem struct {
+	t  time.Time
+	id string
+}
+
+func newWindowEvictor() *windowEvictor {
+	return &windowEvictor{last: make(map[string]time.Time)}
+}
+
+// observe records an add. Zero-time records never expire (they carry
+// no collect timestamp to age out by).
+func (w *windowEvictor) observe(id string, t time.Time) {
+	if t.IsZero() {
+		delete(w.last, id) // a timeless re-add pins the instance
+		return
+	}
+	w.last[id] = t
+	heap.Push(&w.h, windowItem{t, id})
+}
+
+// expired pops every instance whose latest observation is strictly
+// before cutoff, removes it from the tracker, and returns the ids in
+// eviction (time, id) order — deterministic for a given add history.
+func (w *windowEvictor) expired(cutoff time.Time) []string {
+	var ids []string
+	for len(w.h) > 0 {
+		top := w.h[0]
+		if !top.t.Before(cutoff) {
+			break
+		}
+		heap.Pop(&w.h)
+		if last, ok := w.last[top.id]; !ok || !last.Equal(top.t) {
+			continue // stale: the instance was re-added more recently
+		}
+		delete(w.last, top.id)
+		ids = append(ids, top.id)
+	}
+	return ids
+}
+
+// size returns the number of tracked (non-pinned) instances.
+func (w *windowEvictor) size() int { return len(w.last) }
+
+// windowHeap is a min-heap on (time, id); the id tiebreak makes
+// eviction order — and therefore the journal-replay chaos comparison —
+// fully deterministic.
+type windowHeap []windowItem
+
+func (h windowHeap) Len() int { return len(h) }
+func (h windowHeap) Less(i, j int) bool {
+	if !h[i].t.Equal(h[j].t) {
+		return h[i].t.Before(h[j].t)
+	}
+	return h[i].id < h[j].id
+}
+func (h windowHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *windowHeap) Push(x any) { *h = append(*h, x.(windowItem)) }
+
+func (h *windowHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -198,58 +198,27 @@ func (s *Store) Compact() (CompactionStats, error) {
 // encoding/json sorts map keys) — so equal state yields byte-identical
 // snapshots.
 func writeSnapshot(dir string, cut compactState) (int64, error) {
-	tmp := filepath.Join(dir, snapTmpName)
-	f, err := os.Create(tmp)
-	if err != nil {
-		return 0, fmt.Errorf("storage: snapshot create: %w", err)
-	}
-	var n int64
-	var buf []byte
-	emit := func(e *walEntry) error {
-		payload, err := json.Marshal(e)
-		if err != nil {
-			return fmt.Errorf("storage: snapshot encode: %w", err)
+	return WriteSnapshotFrames(dir, cut.covered, func(write func(payload []byte) error) error {
+		emit := func(e *walEntry) error {
+			payload, err := json.Marshal(e)
+			if err != nil {
+				return fmt.Errorf("storage: snapshot encode: %w", err)
+			}
+			return write(payload)
 		}
-		buf = AppendFrame(buf[:0], payload)
-		if _, err := f.Write(buf); err != nil {
-			return fmt.Errorf("storage: snapshot write: %w", err)
+		for _, h := range cut.hashes {
+			if err := emit(&walEntry{Hash: h, Value: cut.values[h]}); err != nil {
+				return err
+			}
 		}
-		n += int64(len(buf))
+		for _, r := range cut.records {
+			if err := emit(&walEntry{Record: r}); err != nil {
+				return err
+			}
+		}
+		if len(cut.seqs) > 0 {
+			return emit(&walEntry{Seqs: cut.seqs})
+		}
 		return nil
-	}
-	fail := func(err error) (int64, error) {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	for _, h := range cut.hashes {
-		if err := emit(&walEntry{Hash: h, Value: cut.values[h]}); err != nil {
-			return fail(err)
-		}
-	}
-	for _, r := range cut.records {
-		if err := emit(&walEntry{Record: r}); err != nil {
-			return fail(err)
-		}
-	}
-	if len(cut.seqs) > 0 {
-		if err := emit(&walEntry{Seqs: cut.seqs}); err != nil {
-			return fail(err)
-		}
-	}
-	if err := f.Sync(); err != nil {
-		return fail(fmt.Errorf("storage: snapshot sync: %w", err))
-	}
-	if err := f.Close(); err != nil {
-		return fail(fmt.Errorf("storage: snapshot close: %w", err))
-	}
-	final := filepath.Join(dir, snapName(cut.covered))
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
-		return 0, fmt.Errorf("storage: snapshot rename: %w", err)
-	}
-	if err := fsyncDir(dir); err != nil {
-		return 0, fmt.Errorf("storage: snapshot dir sync: %w", err)
-	}
-	return n, nil
+	})
 }

@@ -66,6 +66,35 @@ for f in internal/storage/*.go; do
     fi
 done
 
+# Linking service (internal/linkd): eviction cutoffs and chaos-test
+# replay are deterministic only because every wall-clock read funnels
+# through Options.Clock or the package's single `wallClock` variable
+# (an alias of time.Now — the bare identifier, never a call). A direct
+# time.Now()/time.Since() in a non-test file would let real time leak
+# into eviction decisions and break the recovered-state digest
+# comparisons. The global-rand and Date.now rules apply unchanged.
+for f in internal/linkd/*.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    if grep -n 'time\.Now(' "$f"; then
+        echo "determinism lint: $f calls time.Now() — route it through Options.Clock or wallClock" >&2
+        fail=1
+    fi
+    if grep -n 'time\.Since(' "$f"; then
+        echo "determinism lint: $f calls time.Since — compute deltas from the injected clock" >&2
+        fail=1
+    fi
+    if grep -En '(^|[^.[:alnum:]_])rand\.(Seed|Int|Intn|Int31n?|Int63n?|Uint32|Uint64|Float32|Float64|NormFloat64|ExpFloat64|Perm|Shuffle|Read)\(' "$f"; then
+        echo "determinism lint: $f uses the global math/rand source — use a seeded rand.New(rand.NewSource(...))" >&2
+        fail=1
+    fi
+    if grep -n 'Date\.now' "$f"; then
+        echo "determinism lint: $f references Date.now" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "determinism lint FAILED" >&2
     exit 1
