@@ -5,7 +5,7 @@ GO ?= go
 BENCHTIME_MATCH ?= 2000x
 BENCHTIME_PIPELINE ?= 3x
 
-.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest bench-linkd bench-1m chaos
+.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest bench-linkd bench-scripts bench-1m chaos
 
 ## check: the full gate — build, vet, determinism lint, and the
 ## race-enabled test suite. The worker-pool primitives behind the
@@ -21,12 +21,14 @@ check: lint-determinism
 	$(GO) vet ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) vet ./internal/obs/
 	$(GO) vet ./internal/mlearn/
+	$(GO) vet ./internal/scriptsim/
 	$(GO) vet ./internal/extsort/
 	$(GO) vet ./internal/linkd/
 	$(GO) test -race ./internal/parallel/
 	$(GO) test -race ./internal/storage/ ./internal/collector/ ./internal/faultinject/
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/mlearn/
+	$(GO) test -race ./internal/scriptsim/
 	$(GO) test -race ./internal/extsort/
 	$(GO) test -race ./internal/linkd/
 	$(GO) test -race -run 'TestSpill|TestStreamReport' ./internal/population/ ./internal/report/
@@ -96,6 +98,14 @@ bench-forest:
 ## BENCH_LINKD_QUERIES the per-cell query count (default 200).
 bench-linkd:
 	BENCH_LINKD_OUT=BENCH_linkd.json $(GO) test -run TestEmitLinkdBench -v -timeout 120m .
+
+## bench-scripts: the script-detection snapshot (BENCH_scriptdet.json):
+## corpus simulate+featurize timing, forest training on the wide sparse
+## API-count matrix (dense vs sparse column path × serial vs parallel),
+## batch-predict latency and held-out precision/recall/F1.
+## BENCH_SCRIPTDET_SCRIPTS overrides the default 4000-script corpus.
+bench-scripts:
+	BENCH_SCRIPTDET_OUT=BENCH_scriptdet.json $(GO) test -run TestEmitScriptdetBench -v -timeout 30m .
 
 ## bench-ingest: the collection-path snapshot (BENCH_ingest.json):
 ## accepted records/sec and per-record ACK p50/p99 across 1/4/8 shards

@@ -1,0 +1,165 @@
+package fpdyn
+
+// The script-detection benchmark harness: corpus generation +
+// featurization throughput, forest training on the wide sparse
+// API-count matrix (dense vs sparse column path, serial vs parallel),
+// and batch-predict latency over the wide rows. The emitter writes
+// BENCH_scriptdet.json so the sparse path's advantage on its target
+// shape is tracked across PRs, next to BENCH_forest.json's dense pair
+// matrix.
+//
+//	BENCH_SCRIPTDET_OUT=BENCH_scriptdet.json go test -run TestEmitScriptdetBench .
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"fpdyn/internal/mlearn"
+	"fpdyn/internal/scriptsim"
+)
+
+type scriptdetTrainResult struct {
+	Columns    string  `json:"columns"`
+	Workers    int     `json:"workers"`
+	Seconds    float64 `json:"seconds"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Nodes      int     `json:"nodes"`
+}
+
+type scriptdetBenchReport struct {
+	Scripts int     `json:"scripts"`
+	APIs    int     `json:"apis"`
+	Density float64 `json:"density"`
+	Seed    int64   `json:"seed"`
+	NumCPU  int     `json:"num_cpu"`
+	Digest  string  `json:"digest"`
+
+	SimulateSec  float64 `json:"simulate_seconds"`
+	FeaturizeSec float64 `json:"featurize_seconds"`
+
+	// Train: dense vs sparse column path at 1 worker and NumCPU, on
+	// the identical matrix with the identical resulting forest.
+	Train []scriptdetTrainResult `json:"train"`
+
+	// Batch prediction over the wide matrix in 256-row blocks.
+	PredictBatchPerSec float64 `json:"predict_batch_per_sec"`
+	PredictBatchNsRow  int64   `json:"predict_batch_ns_per_row"`
+
+	Precision float64 `json:"holdout_precision"`
+	Recall    float64 `json:"holdout_recall"`
+	F1        float64 `json:"holdout_f1"`
+}
+
+// TestEmitScriptdetBench measures the script-detection workload and
+// writes BENCH_scriptdet.json. Gated behind BENCH_SCRIPTDET_OUT so the
+// regular test run stays fast; `make bench-scripts` sets it.
+func TestEmitScriptdetBench(t *testing.T) {
+	out := os.Getenv("BENCH_SCRIPTDET_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SCRIPTDET_OUT=<path> to emit the script-detection benchmark")
+	}
+	scripts := 4000
+	if s := os.Getenv("BENCH_SCRIPTDET_SCRIPTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad BENCH_SCRIPTDET_SCRIPTS %q: %v", s, err)
+		}
+		scripts = n
+	}
+	const seed = 42
+	rep := scriptdetBenchReport{Scripts: scripts, Seed: seed, NumCPU: runtime.NumCPU()}
+
+	start := time.Now()
+	traces := scriptsim.Simulate(scriptsim.Config{Scripts: scripts, Seed: seed})
+	rep.SimulateSec = time.Since(start).Seconds()
+	start = time.Now()
+	m := scriptsim.Featurize(traces)
+	rep.FeaturizeSec = time.Since(start).Seconds()
+	rep.APIs = len(m.APIs)
+	rep.Density = m.Density()
+	rep.Digest = m.Digest()
+	t.Logf("%d scripts → %d×%d matrix, density %.4f", scripts, len(m.X), len(m.APIs), rep.Density)
+
+	cfg := mlearn.ForestConfig{Seed: seed, NumTrees: 15, MaxDepth: mlearn.Unlimited}
+	trainOnce := func(path mlearn.ColumnPath, workers int) scriptdetTrainResult {
+		c := cfg
+		c.Columns = path
+		c.Workers = workers
+		best := math.MaxFloat64
+		var nodes int
+		for round := 0; round < 3; round++ {
+			start := time.Now()
+			f, err := mlearn.TrainForest(m.X, m.Y, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best = math.Min(best, time.Since(start).Seconds())
+			nodes = f.NumNodes()
+		}
+		return scriptdetTrainResult{Columns: path.String(), Workers: workers,
+			Seconds: best, RowsPerSec: float64(len(m.X)) / best, Nodes: nodes}
+	}
+	for _, path := range []mlearn.ColumnPath{mlearn.ColumnsDense, mlearn.ColumnsSparse} {
+		for _, workers := range []int{1, -1} {
+			rep.Train = append(rep.Train, trainOnce(path, workers))
+		}
+	}
+
+	// Held-out quality at the benchmark's operating point, and batch
+	// prediction over the wide rows — the serve-path shape.
+	train, test, err := mlearn.StratifiedSplit(m.Y, 0.3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xtr := make([][]float64, len(train))
+	ytr := make([]int, len(train))
+	for i, r := range train {
+		Xtr[i], ytr[i] = m.X[r], m.Y[r]
+	}
+	heldCfg := cfg
+	heldCfg.Workers = -1
+	forest, err := mlearn.TrainForest(Xtr, ytr, heldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := mlearn.EvaluateForest(forest, m.X, m.Y, test, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Precision, rep.Recall, rep.F1 = conf.Precision(), conf.Recall(), conf.F1()
+
+	d := forest.NumFeatures()
+	flat := make([]float64, 0, len(m.X)*d)
+	for _, row := range m.X {
+		flat = append(flat, row...)
+	}
+	const predBlock = 256
+	probs := make([]float64, predBlock)
+	bestPred := math.MaxFloat64
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		for lo := 0; lo < len(m.X); lo += predBlock {
+			hi := min(lo+predBlock, len(m.X))
+			forest.PredictProbaBatch(flat[lo*d:hi*d], probs[:hi-lo])
+		}
+		bestPred = math.Min(bestPred, time.Since(start).Seconds())
+	}
+	rep.PredictBatchPerSec = float64(len(m.X)) / bestPred
+	rep.PredictBatchNsRow = int64(bestPred / float64(len(m.X)) * 1e9)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: dense %.2fs vs sparse %.2fs (serial), P %.3f R %.3f F1 %.3f",
+		out, rep.Train[0].Seconds, rep.Train[2].Seconds, rep.Precision, rep.Recall, rep.F1)
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fpdyn/internal/fpstalker"
+	"fpdyn/internal/mlearn"
 	"fpdyn/internal/useragent"
 )
 
@@ -46,7 +47,7 @@ func TestEvolvedQueriesAreNonExact(t *testing.T) {
 }
 
 func TestF1Row(t *testing.T) {
-	res := fpstalker.EvalResult{TP: 8, FP: 2, FN: 2}
+	res := fpstalker.EvalResult{Confusion: mlearn.Confusion{TP: 8, FP: 2, FN: 2}}
 	row := f1Row(100, "rule", res)
 	if row[0] != "100" || row[1] != "rule" || row[2] != "0.800" || row[3] != "0.800" || row[4] != "0.800" {
 		t.Fatalf("row = %v", row)

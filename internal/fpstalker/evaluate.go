@@ -5,44 +5,22 @@ import (
 	"time"
 
 	"fpdyn/internal/fingerprint"
+	"fpdyn/internal/mlearn"
 )
 
 // EvalResult aggregates a linking evaluation run (the Figure 9/10
-// quantities).
+// quantities). The confusion counts and the Precision/Recall/F1
+// metrics promoted from it are mlearn's shared evaluation module —
+// the same arithmetic the script-detection task reports — with the
+// linking-specific reading: TP = truth in the top-k, FN = truth in
+// the DB but missed, FP = candidates that hid or displaced the truth,
+// TN = new instance correctly given no candidates.
 type EvalResult struct {
+	mlearn.Confusion
 	Queries int
-	TP      int // truth was in the top-k candidates
-	FN      int // truth was in the DB but missed
-	FP      int // candidates returned that hid or displaced the truth
-	TN      int // new instance correctly given no candidates
 
 	DBSize        int           // instances known at the end
 	MeanMatchTime time.Duration // mean TopK latency
-}
-
-// Precision is TP / (TP + FP).
-func (r EvalResult) Precision() float64 {
-	if r.TP+r.FP == 0 {
-		return 0
-	}
-	return float64(r.TP) / float64(r.TP+r.FP)
-}
-
-// Recall is TP / (TP + FN).
-func (r EvalResult) Recall() float64 {
-	if r.TP+r.FN == 0 {
-		return 0
-	}
-	return float64(r.TP) / float64(r.TP+r.FN)
-}
-
-// F1 is the harmonic mean of precision and recall.
-func (r EvalResult) F1() float64 {
-	p, rec := r.Precision(), r.Recall()
-	if p+rec == 0 {
-		return 0
-	}
-	return 2 * p * rec / (p + rec)
 }
 
 // InstanceID renders the canonical evaluation identity for a true

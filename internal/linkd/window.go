@@ -19,8 +19,9 @@ import (
 // longer matches last are stale and skipped. The heap is therefore
 // bounded by adds, not instances, and shrinks as stale items surface.
 type windowEvictor struct {
-	h    windowHeap
-	last map[string]time.Time // instance → time of its latest add
+	h      windowHeap
+	last   map[string]time.Time // instance → time of its latest add
+	pinned map[string]struct{}  // instances exempt from eviction
 }
 
 type windowItem struct {
@@ -29,15 +30,27 @@ type windowItem struct {
 }
 
 func newWindowEvictor() *windowEvictor {
-	return &windowEvictor{last: make(map[string]time.Time)}
+	return &windowEvictor{
+		last:   make(map[string]time.Time),
+		pinned: make(map[string]struct{}),
+	}
 }
 
 // observe records an add. Zero-time records never expire (they carry
-// no collect timestamp to age out by).
+// no collect timestamp to age out by), and the pin is sticky: once an
+// instance has been observed without a timestamp it stays exempt even
+// if later adds do carry one. (Before the pinned set existed, a timed
+// re-add would silently unpin — the instance went back into last and
+// aged out like any other, contradicting the documented "pins it
+// forever" contract.)
 func (w *windowEvictor) observe(id string, t time.Time) {
 	if t.IsZero() {
-		delete(w.last, id) // a timeless re-add pins the instance
+		w.pinned[id] = struct{}{}
+		delete(w.last, id) // drop any pending timed entry
 		return
+	}
+	if _, ok := w.pinned[id]; ok {
+		return // sticky pin: timed re-adds cannot re-arm eviction
 	}
 	w.last[id] = t
 	heap.Push(&w.h, windowItem{t, id})

@@ -1,6 +1,6 @@
 package mlearn
 
-import "math"
+import "fmt"
 
 // Batch prediction kernels. The scalar predictors pay a function call
 // and a slice-header setup per (vector, tree) — on this model family
@@ -25,16 +25,15 @@ import "math"
 // PredictProbaBatch evaluates the forest over a block of vectors stored
 // row-major in xs (len(out) rows of NumFeatures values each) and writes
 // the forest-averaged probability of class 1 for row i to out[i].
-// Equivalent to calling PredictProba per row; if xs does not hold
-// exactly len(out) rows, out is filled with NaN (the scalar
-// dimension-mismatch convention).
+// Equivalent to calling PredictProba per row. xs must hold exactly
+// len(out) rows; a mismatch panics. (The historical kernel NaN-filled
+// the whole output instead, which let an off-by-one in a caller's
+// block arithmetic masquerade as a model that rejects everything.)
 func (f *Forest) PredictProbaBatch(xs []float64, out []float64) {
 	n := len(out)
 	if len(xs) != n*f.numFeatures {
-		for i := range out {
-			out[i] = math.NaN()
-		}
-		return
+		panic(fmt.Sprintf("mlearn: PredictProbaBatch shape mismatch: %d values is not %d rows × %d features",
+			len(xs), n, f.numFeatures))
 	}
 	d := f.numFeatures
 	knodes := f.knodes
@@ -66,19 +65,18 @@ func (f *Forest) PredictProbaBatch(xs []float64, out []float64) {
 // probs[i], oks[i] are exactly what the scalar call returns for row i
 // of xs, including the scalar early exit — a row stops walking trees
 // the moment its partial sum can no longer reach threshold·NumTrees
-// (probs 0, ok false). probs and oks must have equal length; a
-// row-count mismatch with xs yields NaN/false throughout.
+// (probs 0, ok false). probs and oks must have equal length and xs
+// must hold exactly len(probs) rows; either mismatch panics — a
+// silent NaN/false fill (the historical behaviour) reads as "every
+// candidate rejected" and masks the caller bug that produced it.
 func (f *Forest) PredictProbaAtLeastBatch(xs []float64, threshold float64, probs []float64, oks []bool) {
 	n := len(probs)
 	if len(oks) != n {
 		panic("mlearn: PredictProbaAtLeastBatch probs/oks length mismatch")
 	}
 	if len(xs) != n*f.numFeatures {
-		for i := range probs {
-			probs[i] = math.NaN()
-			oks[i] = false
-		}
-		return
+		panic(fmt.Sprintf("mlearn: PredictProbaAtLeastBatch shape mismatch: %d values is not %d rows × %d features",
+			len(xs), n, f.numFeatures))
 	}
 	d := f.numFeatures
 	T := len(f.roots)

@@ -1,7 +1,6 @@
 package mlearn
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 )
@@ -59,27 +58,33 @@ func TestBatchMatchesScalar(t *testing.T) {
 	}
 }
 
-// TestBatchDimensionMismatch mirrors the scalar NaN convention: a block
-// that does not hold exactly len(out) rows yields NaN (and false) for
-// every row.
+// TestBatchDimensionMismatch is the regression test for the kernel
+// misuse contract: a block that does not hold exactly len(out) rows is
+// a caller bug and must panic. (The kernels historically NaN/false-
+// filled the whole output instead, which made a mis-sliced block look
+// like a model that rejects every candidate.)
 func TestBatchDimensionMismatch(t *testing.T) {
 	X, y := linearlySeparable(100, 5)
 	f, _ := TrainForest(X, y, ForestConfig{Seed: 5})
-	out := make([]float64, 3)
-	f.PredictProbaBatch(make([]float64, 5), out) // 5 floats ≠ 3 rows × 2 features
-	for i, v := range out {
-		if !math.IsNaN(v) {
-			t.Fatalf("row %d = %v, want NaN", i, v)
-		}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: shape mismatch did not panic", name)
+			}
+		}()
+		fn()
 	}
-	probs := make([]float64, 3)
-	oks := []bool{true, true, true}
-	f.PredictProbaAtLeastBatch(make([]float64, 5), 0.5, probs, oks)
-	for i := range probs {
-		if !math.IsNaN(probs[i]) || oks[i] {
-			t.Fatalf("row %d = (%v,%v), want (NaN,false)", i, probs[i], oks[i])
-		}
-	}
+	mustPanic("PredictProbaBatch", func() {
+		// 5 floats ≠ 3 rows × 2 features
+		f.PredictProbaBatch(make([]float64, 5), make([]float64, 3))
+	})
+	mustPanic("PredictProbaAtLeastBatch", func() {
+		f.PredictProbaAtLeastBatch(make([]float64, 5), 0.5, make([]float64, 3), make([]bool, 3))
+	})
+	mustPanic("PredictProbaAtLeastBatch probs/oks", func() {
+		f.PredictProbaAtLeastBatch(make([]float64, 6), 0.5, make([]float64, 3), make([]bool, 2))
+	})
 }
 
 // TestBatchEmpty: a zero-row block is a no-op, not a panic.

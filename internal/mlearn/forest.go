@@ -29,34 +29,90 @@ import (
 	"fpdyn/internal/parallel"
 )
 
-// ForestConfig controls training. Zero values select sensible defaults
-// (see Defaults).
+// ColumnPath selects the training-time column representation. Both
+// paths train byte-identical forests (see sparse.go's equivalence
+// contract); they differ only in memory and speed on a given matrix
+// shape.
+type ColumnPath int
+
+const (
+	// ColumnsAuto (the zero value) picks dense unless the matrix is
+	// wide and mostly zero (see autoSparse), in which case the sparse
+	// builder avoids the dense path's O(rows × features) per-worker
+	// rank arrays.
+	ColumnsAuto ColumnPath = iota
+	// ColumnsDense forces the presorted dense rank path (columnar.go).
+	ColumnsDense
+	// ColumnsSparse forces the CSC gather-and-sort path (sparse.go).
+	ColumnsSparse
+)
+
+func (p ColumnPath) String() string {
+	switch p {
+	case ColumnsAuto:
+		return "auto"
+	case ColumnsDense:
+		return "dense"
+	case ColumnsSparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("ColumnPath(%d)", int(p))
+}
+
+// Unlimited requests no cap for a config field that defaults on zero
+// (MaxDepth, FeatureFrac): any negative value is accepted, this
+// constant just names the idiom.
+const Unlimited = -1
+
+// ForestConfig controls training. Zero values select sensible
+// defaults (see Defaults); MaxDepth and FeatureFrac additionally
+// accept a negative sentinel ("unlimited"), because their zero value
+// means "default", not "none".
 type ForestConfig struct {
-	NumTrees    int     // default 30
-	MaxDepth    int     // default 12
-	MinLeaf     int     // minimum samples per leaf, default 2
-	FeatureFrac float64 // fraction of features tried per split, default sqrt(d)/d
+	NumTrees int // default 30
+	// MaxDepth caps tree depth: 0 selects the default (12), negative
+	// (Unlimited) removes the cap — trees grow until purity or MinLeaf.
+	MaxDepth int
+	MinLeaf  int // minimum samples per leaf, default 2
+	// FeatureFrac is the fraction of features tried per split: 0
+	// selects the default sqrt(d)/d, negative (Unlimited) tries every
+	// feature at every split.
+	FeatureFrac float64
 	Seed        int64
 	// Workers caps the tree-training pool: 1 is serial, anything else
 	// resolves to NumCPU. The trained forest is identical for every
 	// setting — each tree derives its RNG from Seed and its own index,
 	// never from scheduling — so Workers is purely a throughput knob.
 	Workers int
+	// Columns selects the column representation the trainer uses; the
+	// forest itself is identical either way.
+	Columns ColumnPath
 }
 
-// Defaults fills unset fields.
+// maxDepthUnlimited is what a negative MaxDepth resolves to: deeper
+// than any tree can get (growth is bounded by MinLeaf ≥ 1 long before
+// this), so the depth check never fires.
+const maxDepthUnlimited = math.MaxInt32
+
+// Defaults fills unset fields and resolves the negative sentinels.
 func (c ForestConfig) Defaults(numFeatures int) ForestConfig {
 	if c.NumTrees == 0 {
 		c.NumTrees = 30
 	}
-	if c.MaxDepth == 0 {
+	switch {
+	case c.MaxDepth == 0:
 		c.MaxDepth = 12
+	case c.MaxDepth < 0:
+		c.MaxDepth = maxDepthUnlimited
 	}
 	if c.MinLeaf == 0 {
 		c.MinLeaf = 2
 	}
-	if c.FeatureFrac == 0 {
+	switch {
+	case c.FeatureFrac == 0:
 		c.FeatureFrac = math.Sqrt(float64(numFeatures)) / float64(numFeatures)
+	case c.FeatureFrac < 0:
+		c.FeatureFrac = 1
 	}
 	return c
 }
@@ -130,16 +186,42 @@ func TrainForest(X [][]float64, y []int, cfg ForestConfig) (*Forest, error) {
 	cfg = cfg.Defaults(d)
 	nFeat := int(math.Max(1, math.Round(cfg.FeatureFrac*float64(d))))
 
-	cs := newColset(X)
+	// Resolve the column path. Both builders grow identical trees from
+	// identical RNG streams; the choice is purely a memory/speed
+	// trade-off (see sparse.go).
+	sparse := false
+	switch cfg.Columns {
+	case ColumnsSparse:
+		sparse = true
+	case ColumnsAuto:
+		sparse = autoSparse(X)
+	}
+
 	type treeOut struct {
 		tr  tree
 		imp []float64
 	}
+	var trainTree func(t int, rng *rand.Rand) (tree, []float64)
+	if sparse {
+		scs := newSparseColset(X)
+		trainTree = func(t int, rng *rand.Rand) (tree, []float64) {
+			b := getSparseBuilder(scs, y, cfg, nFeat)
+			tr, imp := b.train(rng)
+			putSparseBuilder(b)
+			return tr, imp
+		}
+	} else {
+		cs := newColset(X)
+		trainTree = func(t int, rng *rand.Rand) (tree, []float64) {
+			b := getTreeBuilder(cs, y, cfg, nFeat)
+			tr, imp := b.train(rng)
+			putTreeBuilder(b)
+			return tr, imp
+		}
+	}
 	outs := parallel.Map(parallel.Resolve(cfg.Workers), cfg.NumTrees, func(t int) treeOut {
 		rng := rand.New(rand.NewSource(treeSeed(cfg.Seed, t)))
-		b := getTreeBuilder(cs, y, cfg, nFeat)
-		tr, imp := b.train(rng)
-		putTreeBuilder(b)
+		tr, imp := trainTree(t, rng)
 		return treeOut{tr, imp}
 	})
 

@@ -3,6 +3,7 @@ package mlearn
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -142,6 +143,77 @@ func TestConfigDefaults(t *testing.T) {
 	c2 := ForestConfig{NumTrees: 5, MaxDepth: 3, MinLeaf: 10, FeatureFrac: 1}.Defaults(4)
 	if c2.NumTrees != 5 || c2.MaxDepth != 3 || c2.MinLeaf != 10 || c2.FeatureFrac != 1 {
 		t.Fatalf("explicit config clobbered: %+v", c2)
+	}
+	// The negative sentinels resolve to "no cap": zero kept meaning
+	// "default", so unlimited depth / all features were unrequestable
+	// before the sentinels existed.
+	c3 := ForestConfig{MaxDepth: Unlimited, FeatureFrac: Unlimited}.Defaults(16)
+	if c3.MaxDepth != maxDepthUnlimited {
+		t.Fatalf("MaxDepth sentinel resolved to %d", c3.MaxDepth)
+	}
+	if c3.FeatureFrac != 1 {
+		t.Fatalf("FeatureFrac sentinel resolved to %v", c3.FeatureFrac)
+	}
+}
+
+// TestZeroConfigBackCompat pins the sentinel change's back-compat
+// contract: a zero-value config must keep training the exact forest it
+// always did — byte-identical to one trained with every historical
+// default written out explicitly.
+func TestZeroConfigBackCompat(t *testing.T) {
+	X, y := xorData(400, 21)
+	zero, err := TrainForest(X, y, ForestConfig{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := float64(len(X[0]))
+	explicit, err := TrainForest(X, y, ForestConfig{
+		Seed: 21, NumTrees: 30, MaxDepth: 12, MinLeaf: 2,
+		FeatureFrac: math.Sqrt(d) / d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero, explicit) {
+		t.Fatal("zero-value config no longer trains the historical default forest")
+	}
+}
+
+// TestUnlimitedDepth: with the depth cap removed (and MinLeaf 1) the
+// forest can grow every tree to purity, which a capped config on the
+// same data cannot. XOR at depth 1 is the classic can't-learn shape.
+func TestUnlimitedDepth(t *testing.T) {
+	X, y := xorData(300, 23)
+	deep, err := TrainForest(X, y, ForestConfig{Seed: 23, MaxDepth: Unlimited, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := TrainForest(X, y, ForestConfig{Seed: 23, MaxDepth: 1, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := accuracy(deep, X, y); a < 0.99 {
+		t.Fatalf("unlimited-depth training accuracy %.3f, want ~1 (trees should reach purity)", a)
+	}
+	if a := accuracy(shallow, X, y); a > 0.9 {
+		t.Fatalf("depth-1 forest accuracy %.3f on XOR — suspiciously high", a)
+	}
+}
+
+// TestAllFeaturesSentinel: FeatureFrac -1 must behave exactly like an
+// explicit 1.0 (every feature tried at every split).
+func TestAllFeaturesSentinel(t *testing.T) {
+	X, y := xorData(300, 25)
+	all, err := TrainForest(X, y, ForestConfig{Seed: 25, FeatureFrac: Unlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := TrainForest(X, y, ForestConfig{Seed: 25, FeatureFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, one) {
+		t.Fatal("FeatureFrac sentinel and explicit 1.0 trained different forests")
 	}
 }
 

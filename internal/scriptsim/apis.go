@@ -1,0 +1,338 @@
+package scriptsim
+
+import (
+	"fmt"
+
+	"fpdyn/internal/fontdb"
+)
+
+// The JS API surface the simulator draws from. Feature names follow
+// the VisibleV8 convention FPClassifier trains on — `Receiver.member`
+// — extended with an argument suffix (`Receiver.member:arg`) for the
+// probe-style calls whose *argument* is the signal: per-font
+// measureText probes, per-pname WebGL getParameter sweeps, per-prop
+// style reads. The fingerprinting families mirror the feature
+// surfaces the population simulator already models (canvas, fonts,
+// WebGL, navigator, screen, plugins, audio, storage toggles,
+// timezone), so the two workloads describe one consistent world.
+
+// apiFamily groups the vocabulary for the generator: fingerprinting
+// scripts sample whole families; benign scripts sample mostly the
+// benign tail plus the handful of crossover APIs real sites touch.
+type apiFamily struct {
+	name string
+	apis []string
+}
+
+// arged renders an argumented feature name.
+func arged(api, arg string) string { return api + ":" + arg }
+
+// canvasAPIs: the canvas-rendering fingerprint (paper §2.1 "canvas").
+var canvasAPIs = []string{
+	"HTMLCanvasElement.getContext",
+	"HTMLCanvasElement.toDataURL",
+	"HTMLCanvasElement.width",
+	"HTMLCanvasElement.height",
+	"CanvasRenderingContext2D.fillText",
+	"CanvasRenderingContext2D.strokeText",
+	"CanvasRenderingContext2D.fillRect",
+	"CanvasRenderingContext2D.arc",
+	"CanvasRenderingContext2D.bezierCurveTo",
+	"CanvasRenderingContext2D.isPointInPath",
+	"CanvasRenderingContext2D.getImageData",
+	"CanvasRenderingContext2D.font",
+	"CanvasRenderingContext2D.fillStyle",
+	"CanvasRenderingContext2D.globalCompositeOperation",
+	"CanvasRenderingContext2D.shadowBlur",
+	"CanvasRenderingContext2D.shadowColor",
+	"CanvasRenderingContext2D.rotate",
+	"HTMLCanvasElement.toBlob",
+}
+
+// fontProbes: per-font measureText probe features over the same font
+// universe the population draws installed-font sets from. Shared by
+// the fingerprinting fonts family and the benign font-picker profile.
+func fontProbes() []string {
+	var fonts []string
+	fonts = append(fonts, fontdb.BaseWindows...)
+	fonts = append(fonts, fontdb.BaseMac...)
+	fonts = append(fonts, fontdb.BaseLinux...)
+	fonts = append(fonts, fontdb.OfficeDetect...)
+	fonts = append(fonts, fontdb.LibreOffice...)
+	fonts = append(fonts, fontdb.Adobe...)
+	fonts = append(fonts, fontdb.WPS...)
+	fonts = append(fonts, fontdb.Firefox57...)
+	fonts = append(fonts, fontdb.OptionalWindows...)
+	seen := make(map[string]bool, len(fonts))
+	var out []string
+	for _, f := range fonts {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, arged("CanvasRenderingContext2D.measureText", f))
+	}
+	return out
+}
+
+// fontProbeAPIs: the full fonts family — the probe features plus the
+// CSS Font Loading API checks.
+func fontProbeAPIs() []string {
+	return append([]string{
+		"FontFaceSet.check",
+		"FontFaceSet.ready",
+		"CanvasRenderingContext2D.measureText",
+	}, fontProbes()...)
+}
+
+// webglAPIs: the GPU fingerprint — a getParameter pname sweep plus
+// the debug-renderer extension and a render-and-read probe.
+func webglAPIs() []string {
+	pnames := []string{
+		"VENDOR", "RENDERER", "VERSION", "SHADING_LANGUAGE_VERSION",
+		"UNMASKED_VENDOR_WEBGL", "UNMASKED_RENDERER_WEBGL",
+		"MAX_TEXTURE_SIZE", "MAX_RENDERBUFFER_SIZE", "MAX_VIEWPORT_DIMS",
+		"MAX_VERTEX_ATTRIBS", "MAX_VERTEX_UNIFORM_VECTORS",
+		"MAX_FRAGMENT_UNIFORM_VECTORS", "MAX_VARYING_VECTORS",
+		"MAX_COMBINED_TEXTURE_IMAGE_UNITS", "MAX_CUBE_MAP_TEXTURE_SIZE",
+		"ALIASED_LINE_WIDTH_RANGE", "ALIASED_POINT_SIZE_RANGE",
+		"DEPTH_BITS", "STENCIL_BITS", "RED_BITS", "GREEN_BITS", "BLUE_BITS",
+		"ALPHA_BITS", "SUBPIXEL_BITS",
+	}
+	out := []string{
+		"WebGLRenderingContext.getSupportedExtensions",
+		"WebGLRenderingContext.getContextAttributes",
+		"WebGLRenderingContext.readPixels",
+		"WebGLRenderingContext.getShaderPrecisionFormat",
+		arged("WebGLRenderingContext.getExtension", "WEBGL_debug_renderer_info"),
+	}
+	for _, p := range pnames {
+		out = append(out, arged("WebGLRenderingContext.getParameter", p))
+	}
+	return out
+}
+
+// navigatorAPIs: the HTTP/JS environment enumeration (UA, languages,
+// platform, hardware hints, plugin/mimeType tables, storage toggles).
+var navigatorAPIs = []string{
+	"Navigator.userAgent",
+	"Navigator.appVersion",
+	"Navigator.appName",
+	"Navigator.platform",
+	"Navigator.language",
+	"Navigator.languages",
+	"Navigator.cookieEnabled",
+	"Navigator.doNotTrack",
+	"Navigator.hardwareConcurrency",
+	"Navigator.deviceMemory",
+	"Navigator.maxTouchPoints",
+	"Navigator.vendor",
+	"Navigator.product",
+	"Navigator.productSub",
+	"Navigator.oscpu",
+	"Navigator.buildID",
+	"Navigator.webdriver",
+	"Navigator.getBattery",
+	"Navigator.javaEnabled",
+}
+
+// pluginAPIs: plugin/mimeType table walks (Table 1's plugin rows).
+var pluginAPIs = []string{
+	"Navigator.plugins",
+	"Navigator.mimeTypes",
+	"PluginArray.length",
+	"PluginArray.item",
+	"Plugin.name",
+	"Plugin.description",
+	"Plugin.filename",
+	"MimeTypeArray.length",
+	"MimeType.type",
+	"MimeType.suffixes",
+}
+
+// screenAPIs: screen geometry and density.
+var screenAPIs = []string{
+	"Screen.width",
+	"Screen.height",
+	"Screen.availWidth",
+	"Screen.availHeight",
+	"Screen.availTop",
+	"Screen.availLeft",
+	"Screen.colorDepth",
+	"Screen.pixelDepth",
+	"Window.devicePixelRatio",
+	"Window.screenX",
+	"Window.screenY",
+	"Window.outerWidth",
+	"Window.outerHeight",
+}
+
+// audioAPIs: the OfflineAudioContext rendering fingerprint.
+var audioAPIs = []string{
+	"OfflineAudioContext.createOscillator",
+	"OfflineAudioContext.createDynamicsCompressor",
+	"OfflineAudioContext.startRendering",
+	"OfflineAudioContext.oncomplete",
+	"AudioContext.sampleRate",
+	"AudioContext.destination",
+	"AudioContext.createAnalyser",
+	"AnalyserNode.getFloatFrequencyData",
+	"AudioBuffer.getChannelData",
+	"DynamicsCompressorNode.threshold",
+	"DynamicsCompressorNode.knee",
+	"DynamicsCompressorNode.ratio",
+}
+
+// environmentAPIs: timezone, storage toggles and the legacy IE/WebSQL
+// probes (Table 1's addBehavior/openDatabase rows).
+var environmentAPIs = []string{
+	"Date.getTimezoneOffset",
+	"Intl.DateTimeFormat.resolvedOptions",
+	"Window.localStorage",
+	"Window.sessionStorage",
+	"Window.indexedDB",
+	"Window.openDatabase",
+	"HTMLElement.addBehavior",
+	"Storage.setItem",
+	"Storage.getItem",
+	"RTCPeerConnection.createDataChannel",
+	"RTCPeerConnection.createOffer",
+	"RTCPeerConnection.onicecandidate",
+}
+
+// fingerprintFamilies is what a fingerprinting script samples from —
+// one entry per feature surface the population models.
+func fingerprintFamilies() []apiFamily {
+	return []apiFamily{
+		{"canvas", canvasAPIs},
+		{"fonts", fontProbeAPIs()},
+		{"webgl", webglAPIs()},
+		{"navigator", navigatorAPIs},
+		{"plugins", pluginAPIs},
+		{"screen", screenAPIs},
+		{"audio", audioAPIs},
+		{"environment", environmentAPIs},
+	}
+}
+
+// crossoverAPIs are fingerprint-surface reads that legitimately appear
+// in benign code — responsive layout reads screen geometry, analytics
+// reads the UA and language, feature detection touches storage — so
+// their presence alone must not separate the classes.
+var crossoverAPIs = []string{
+	"Navigator.userAgent",
+	"Navigator.language",
+	"Navigator.cookieEnabled",
+	"Screen.width",
+	"Screen.height",
+	"Window.devicePixelRatio",
+	"Window.localStorage",
+	"Storage.setItem",
+	"Storage.getItem",
+	"Date.getTimezoneOffset",
+	"HTMLCanvasElement.getContext",
+	"CanvasRenderingContext2D.fillRect",
+}
+
+// benignAPIs is the long tail of ordinary page-script activity: DOM
+// traversal and mutation, events, timers, network, plus parameterized
+// style/attribute/event features that widen the matrix the way real
+// VV8 logs do.
+func benignAPIs() []string {
+	out := []string{
+		"Document.getElementById",
+		"Document.querySelector",
+		"Document.querySelectorAll",
+		"Document.createElement",
+		"Document.createTextNode",
+		"Document.cookie",
+		"Document.title",
+		"Document.readyState",
+		"Document.referrer",
+		"Element.appendChild",
+		"Element.removeChild",
+		"Element.insertBefore",
+		"Element.cloneNode",
+		"Element.getBoundingClientRect",
+		"Element.classList",
+		"Element.innerHTML",
+		"Element.textContent",
+		"Element.scrollIntoView",
+		"EventTarget.addEventListener",
+		"EventTarget.removeEventListener",
+		"Window.setTimeout",
+		"Window.setInterval",
+		"Window.clearTimeout",
+		"Window.requestAnimationFrame",
+		"Window.getComputedStyle",
+		"Window.matchMedia",
+		"Window.scrollTo",
+		"Window.innerWidth",
+		"Window.innerHeight",
+		"Window.location",
+		"Window.history",
+		"Window.fetch",
+		"XMLHttpRequest.open",
+		"XMLHttpRequest.send",
+		"XMLHttpRequest.setRequestHeader",
+		"JSON.parse",
+		"JSON.stringify",
+		"Promise.then",
+		"Array.forEach",
+		"Object.keys",
+		"MutationObserver.observe",
+		"IntersectionObserver.observe",
+		"ResizeObserver.observe",
+		"Performance.now",
+		"Performance.mark",
+		"Console.log",
+		"Console.warn",
+		"History.pushState",
+		"URL.createObjectURL",
+		"Node.contains",
+		"Range.getClientRects",
+	}
+	styleProps := []string{
+		"display", "visibility", "opacity", "color", "background-color",
+		"width", "height", "margin", "padding", "border", "position",
+		"top", "left", "right", "bottom", "z-index", "transform",
+		"transition", "font-size", "font-family", "line-height",
+		"text-align", "overflow", "cursor", "flex", "grid-template-columns",
+		"gap", "box-shadow", "border-radius", "max-width", "min-height",
+		"white-space", "letter-spacing", "pointer-events", "user-select",
+		"animation", "content", "float", "clear", "vertical-align",
+	}
+	for _, p := range styleProps {
+		out = append(out, arged("CSSStyleDeclaration.setProperty", p))
+		out = append(out, arged("CSSStyleDeclaration.getPropertyValue", p))
+	}
+	attrs := []string{
+		"id", "class", "href", "src", "alt", "title", "style", "type",
+		"value", "name", "placeholder", "disabled", "checked", "selected",
+		"tabindex", "role", "aria-label", "aria-hidden", "aria-expanded",
+		"data-id", "data-src", "data-index", "data-toggle", "data-target",
+		"data-action", "data-value", "data-state", "data-track", "rel",
+		"target", "width", "height", "loading", "srcset", "sizes",
+	}
+	for _, a := range attrs {
+		out = append(out, arged("Element.setAttribute", a))
+		out = append(out, arged("Element.getAttribute", a))
+	}
+	events := []string{
+		"click", "scroll", "resize", "load", "unload", "input", "change",
+		"submit", "focus", "blur", "keydown", "keyup", "mousedown",
+		"mouseup", "mousemove", "mouseover", "mouseout", "touchstart",
+		"touchend", "touchmove", "wheel", "visibilitychange", "popstate",
+		"hashchange", "error", "message", "storage", "animationend",
+		"transitionend", "pointerdown", "pointerup", "dragstart", "drop",
+	}
+	for _, e := range events {
+		out = append(out, arged("EventTarget.addEventListener", e))
+	}
+	for i := 0; i < 200; i++ {
+		// Site-specific custom events and dataset keys: the long tail
+		// that makes real feature matrices wide and mostly zero.
+		out = append(out, arged("EventTarget.dispatchEvent", fmt.Sprintf("app-event-%03d", i)))
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package scriptsim
+
+import (
+	"fmt"
+	"sort"
+
+	"fpdyn/internal/hashutil"
+)
+
+// Matrix is a featurized corpus: one row per trace, one column per
+// distinct API (sorted by name), X[i][j] = how often trace i called
+// API j. The shape is wide and mostly zero — the script-detection
+// matrix internal/mlearn's sparse column path exists for.
+type Matrix struct {
+	APIs    []string    // column names, ascending
+	Scripts []string    // row names, in trace order
+	X       [][]float64 // API-count rows
+	Y       []int       // 1 = fingerprinting
+}
+
+// Featurize builds the API-count matrix over the union of APIs seen
+// in the corpus. It is total on malformed input — empty or nil
+// traces, empty API names, duplicate APIs, and negative or zero
+// counts never panic: empty names and non-positive counts are
+// dropped, duplicates aggregate, and a trace with no valid calls
+// becomes an all-zero row. The output is a pure function of the
+// trace list (column order is sorted, row order is input order).
+func Featurize(traces []Trace) *Matrix {
+	vocab := make(map[string]int)
+	for _, tr := range traces {
+		for _, c := range tr.Calls {
+			if c.API == "" || c.Count <= 0 {
+				continue
+			}
+			vocab[c.API] = 0
+		}
+	}
+	apis := make([]string, 0, len(vocab))
+	for api := range vocab {
+		apis = append(apis, api)
+	}
+	sort.Strings(apis)
+	for j, api := range apis {
+		vocab[api] = j
+	}
+
+	m := &Matrix{
+		APIs:    apis,
+		Scripts: make([]string, len(traces)),
+		X:       make([][]float64, len(traces)),
+		Y:       make([]int, len(traces)),
+	}
+	for i, tr := range traces {
+		m.Scripts[i] = tr.Script
+		row := make([]float64, len(apis))
+		for _, c := range tr.Calls {
+			if c.API == "" || c.Count <= 0 {
+				continue
+			}
+			row[vocab[c.API]] += float64(c.Count)
+		}
+		m.X[i] = row
+		if tr.Fingerprinting {
+			m.Y[i] = 1
+		}
+	}
+	return m
+}
+
+// Density is the fraction of nonzero cells — the quantity that
+// decides whether the sparse column path pays off.
+func (m *Matrix) Density() float64 {
+	if len(m.X) == 0 || len(m.APIs) == 0 {
+		return 0
+	}
+	nnz := 0
+	for _, row := range m.X {
+		for _, v := range row {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	return float64(nnz) / float64(len(m.X)*len(m.APIs))
+}
+
+// Digest is a canonical SHA-1 over the matrix — column names, row
+// names, counts and labels — used by the golden determinism tests and
+// the worker-invariance checks.
+func (m *Matrix) Digest() string {
+	h := uint64(0)
+	for _, api := range m.APIs {
+		h = hashutil.Combine(h, hashutil.Hash64(api))
+	}
+	for i, row := range m.X {
+		h = hashutil.Combine(h, hashutil.Hash64(m.Scripts[i]))
+		h = hashutil.Combine(h, uint64(m.Y[i]+1))
+		for j, v := range row {
+			if v != 0 {
+				h = hashutil.Combine(h, uint64(j)+1)
+				h = hashutil.Combine(h, uint64(v))
+			}
+		}
+	}
+	return hashutil.SHA1Hex(fmt.Sprintf("scriptsim:%d:%d:%016x", len(m.X), len(m.APIs), h))
+}

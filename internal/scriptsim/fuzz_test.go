@@ -1,0 +1,52 @@
+package scriptsim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFeaturize: the featurizer must be total — arbitrary trace lists
+// (malformed names, negative counts, duplicate APIs, empty traces)
+// never panic, and the output matrix is always rectangular with rows
+// matching the input order.
+func FuzzFeaturize(f *testing.F) {
+	seed := func(traces []Trace) {
+		b, err := json.Marshal(traces)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(nil)
+	seed([]Trace{{Script: "a.js", Calls: []Call{{API: "A.a", Count: 1}}}})
+	seed([]Trace{
+		{Script: "", Fingerprinting: true, Calls: []Call{{API: "", Count: -1}, {API: "B.b", Count: 0}}},
+		{Script: "dup.js", Calls: []Call{{API: "A.a", Count: 2}, {API: "A.a", Count: 3}}},
+		{Script: "empty.js"},
+	})
+	seed(Simulate(Config{Scripts: 5, Seed: 1}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var traces []Trace
+		if err := json.Unmarshal(data, &traces); err != nil {
+			t.Skip()
+		}
+		m := Featurize(traces)
+		if len(m.X) != len(traces) || len(m.Scripts) != len(traces) || len(m.Y) != len(traces) {
+			t.Fatalf("matrix has %d/%d/%d rows for %d traces", len(m.X), len(m.Scripts), len(m.Y), len(traces))
+		}
+		for i, row := range m.X {
+			if len(row) != len(m.APIs) {
+				t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(m.APIs))
+			}
+			for j, v := range row {
+				if v < 0 {
+					t.Fatalf("row %d col %d holds negative count %v", i, j, v)
+				}
+			}
+		}
+		// Digest and density must also be total.
+		_ = m.Digest()
+		_ = m.Density()
+	})
+}

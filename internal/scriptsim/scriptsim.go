@@ -1,0 +1,212 @@
+// Package scriptsim simulates per-script JavaScript API-call traces
+// for the fingerprinting-script detection task — the companion
+// workload to the paper's fingerprint-dynamics classification.
+// FPClassifier (VisibleV8 logs) and Durey et al.'s iterative
+// technique both detect fingerprinting *scripts* from which JS APIs a
+// script touches and how often; this package generates a labelled
+// population of such traces so internal/mlearn can train and serve
+// that detector on a synthetic-but-structured corpus.
+//
+// The vocabulary (apis.go) draws its fingerprinting families from the
+// same feature surfaces the fingerprint population models — canvas,
+// fonts (per-font measureText probes over the fontdb universe),
+// WebGL parameter sweeps, navigator enumeration, screen geometry,
+// plugin table walks, audio rendering, timezone/storage — plus a long
+// benign tail of DOM/style/event features. Featurized (featurize.go),
+// a corpus becomes a wide, mostly-zero API-count matrix: the matrix
+// shape that exercises mlearn's sparse column path.
+//
+// Determinism contract: Simulate is a pure function of Config minus
+// Workers. Script i derives its private RNG from splitmix64(Seed, i),
+// so generation parallelizes with byte-identical output at any worker
+// count, and golden digests pin the corpus per seed.
+package scriptsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fpdyn/internal/parallel"
+)
+
+// Call is one distinct API observed in a script's trace with its
+// total call count.
+type Call struct {
+	API   string `json:"api"`
+	Count int    `json:"count"`
+}
+
+// Trace is one script's aggregated API usage with its ground-truth
+// label.
+type Trace struct {
+	Script         string `json:"script"`
+	Fingerprinting bool   `json:"fingerprinting"`
+	Calls          []Call `json:"calls"` // sorted by API name
+}
+
+// Config controls corpus generation. The zero value of a field
+// selects its default.
+type Config struct {
+	Scripts int     // number of scripts, default 2000
+	FPFrac  float64 // fraction of fingerprinting scripts, default 0.3
+	Seed    int64
+	// Workers caps the generation pool (1 serial, else NumCPU); the
+	// corpus is identical for every setting.
+	Workers int
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Scripts == 0 {
+		c.Scripts = 2000
+	}
+	if c.FPFrac == 0 {
+		c.FPFrac = 0.3
+	}
+	return c
+}
+
+// splitmix64 spreads (seed, index) into an uncorrelated per-script
+// stream seed — the same derivation idiom the forest trainer uses for
+// per-tree RNGs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func scriptSeed(seed int64, i int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(i)))
+}
+
+// Simulate generates the labelled corpus. Scripts 0..k-1 are
+// fingerprinting (k = round(Scripts·FPFrac)) and the rest benign;
+// each script's content depends only on (Seed, its index), never on
+// scheduling.
+func Simulate(cfg Config) []Trace {
+	cfg = cfg.Defaults()
+	nFP := int(float64(cfg.Scripts)*cfg.FPFrac + 0.5)
+	families := fingerprintFamilies()
+	benign := benignAPIs()
+	return parallel.Map(parallel.Resolve(cfg.Workers), cfg.Scripts, func(i int) Trace {
+		rng := rand.New(rand.NewSource(scriptSeed(cfg.Seed, i)))
+		tr := Trace{
+			Script:         fmt.Sprintf("s%05d.js", i),
+			Fingerprinting: i < nFP,
+		}
+		calls := make(map[string]int)
+		if tr.Fingerprinting {
+			genFingerprinting(rng, families, benign, calls)
+		} else {
+			genBenign(rng, benign, calls)
+		}
+		tr.Calls = sortedCalls(calls)
+		return tr
+	})
+}
+
+// sortedCalls flattens the count map in API-name order — the
+// deterministic serialization every digest and featurization step
+// relies on.
+func sortedCalls(m map[string]int) []Call {
+	out := make([]Call, 0, len(m))
+	for api, n := range m {
+		out = append(out, Call{api, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].API < out[j].API })
+	return out
+}
+
+// bump adds a geometric-ish call count: most APIs are touched once or
+// twice, a few in a loop.
+func bump(rng *rand.Rand, calls map[string]int, api string, maxBurst int) {
+	n := 1
+	for n < maxBurst && rng.Float64() < 0.35 {
+		n++
+	}
+	calls[api] += n
+}
+
+// sampleSubset draws k distinct APIs from pool into calls.
+func sampleSubset(rng *rand.Rand, pool []string, k, maxBurst int, calls map[string]int) {
+	if k >= len(pool) {
+		for _, api := range pool {
+			bump(rng, calls, api, maxBurst)
+		}
+		return
+	}
+	seen := make(map[int]bool, k)
+	for len(seen) < k {
+		j := rng.Intn(len(pool))
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		bump(rng, calls, pool[j], maxBurst)
+	}
+}
+
+// genFingerprinting emits a fingerprinting script: a broad sweep over
+// several fingerprint families — the near-exhaustive enumeration that
+// distinguishes collection from incidental use — wrapped in a benign
+// carrier (fingerprinters ship inside ordinary bundles). A quarter of
+// the scripts probe only one or two families at partial coverage —
+// the hard positives Durey et al.'s iterative rounds exist for, and
+// the reason the reported recall sits below 1.
+func genFingerprinting(rng *rand.Rand, families []apiFamily, benign []string, calls map[string]int) {
+	nFam := 4 + rng.Intn(len(families)-3) // 4..len
+	loFrac, hiFrac := 0.6, 1.0            // near-exhaustive family coverage
+	if rng.Float64() < 0.25 {
+		nFam = 1 + rng.Intn(2) // partial fingerprinter: 1-2 families...
+		loFrac, hiFrac = 0.25, 0.6
+	}
+	order := rng.Perm(len(families))
+	for _, fi := range order[:nFam] {
+		fam := families[fi]
+		frac := loFrac + (hiFrac-loFrac)*rng.Float64()
+		k := int(frac * float64(len(fam.apis)))
+		if k < 1 {
+			k = 1
+		}
+		sampleSubset(rng, fam.apis, k, 3, calls)
+	}
+	// The benign carrier the fingerprinter is bundled with.
+	sampleSubset(rng, benign, 5+rng.Intn(40), 6, calls)
+}
+
+// genBenign emits an ordinary page script: a modest slice of the
+// benign tail plus, frequently, a few crossover reads (UA sniffing,
+// screen geometry for layout) — so "touched navigator.userAgent"
+// alone cannot separate the classes. Two hard-negative profiles keep
+// precision below 1: chart libraries hammer the canvas surface
+// harder than some fingerprinters do, and compat shims sweep a broad
+// slice of navigator/screen/environment without ever rendering.
+func genBenign(rng *rand.Rand, benign []string, calls map[string]int) {
+	sampleSubset(rng, benign, 10+rng.Intn(70), 8, calls)
+	if rng.Float64() < 0.7 {
+		sampleSubset(rng, crossoverAPIs, 1+rng.Intn(4), 4, calls)
+	}
+	switch p := rng.Float64(); {
+	case p < 0.10: // chart/graphics library
+		k := len(canvasAPIs)/2 + rng.Intn(len(canvasAPIs)/2+1)
+		sampleSubset(rng, canvasAPIs, k, 12, calls)
+		sampleSubset(rng, screenAPIs, 1+rng.Intn(4), 4, calls)
+		// Text measurement for axis labels — a handful of measureText
+		// probes, not the exhaustive per-font sweep.
+		calls["CanvasRenderingContext2D.measureText"] += 2 + rng.Intn(12)
+	case p < 0.15: // feature-detection / compat shim
+		sampleSubset(rng, navigatorAPIs, 4+rng.Intn(8), 2, calls)
+		sampleSubset(rng, environmentAPIs, 2+rng.Intn(5), 2, calls)
+		sampleSubset(rng, screenAPIs, 1+rng.Intn(5), 2, calls)
+	case p < 0.18: // audio player
+		sampleSubset(rng, audioAPIs, 2+rng.Intn(5), 4, calls)
+	case p < 0.22: // font-picker widget: probes a real font list via
+		// per-font measureText — exactly what a partial font
+		// fingerprinter looks like, minus the other families.
+		fonts := fontProbes()
+		sampleSubset(rng, fonts, 8+rng.Intn(len(fonts)/3), 2, calls)
+		sampleSubset(rng, canvasAPIs[:6], 1+rng.Intn(3), 3, calls)
+	}
+}
