@@ -5,16 +5,17 @@ GO ?= go
 BENCHTIME_MATCH ?= 2000x
 BENCHTIME_PIPELINE ?= 3x
 
-.PHONY: check lint-determinism build vet test race bench bench-pipeline bench-forest bench-ingest bench-linkd bench-scripts bench-1m chaos
+.PHONY: check lint-determinism bench-compile build vet test race bench bench-pipeline bench-forest bench-ingest bench-linkd bench-scripts bench-1m chaos
 
-## check: the full gate — build, vet, determinism lint, and the
-## race-enabled test suite. The worker-pool primitives behind the
-## analytic pipeline, the crash-safety stack (WAL storage, collector
-## drain, fault injection), the obs metrics registry, the forest
-## trainer and the external sorter plus its spill/merge consumers (the
-## streaming pipeline) get an explicit vet + race pass so CI keeps
-## gating them even if the package list is ever narrowed.
-check: lint-determinism
+## check: the full gate — build, vet, determinism lint, the
+## bench-compile smoke, and the race-enabled test suite. The
+## worker-pool primitives behind the analytic pipeline, the
+## crash-safety stack (WAL storage, collector drain, fault injection),
+## the obs metrics registry, the forest trainer and the external sorter
+## plus its spill/merge consumers (the streaming pipeline) get an
+## explicit vet + race pass so CI keeps gating them even if the package
+## list is ever narrowed.
+check: lint-determinism bench-compile
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) vet ./internal/parallel/
@@ -39,6 +40,13 @@ check: lint-determinism
 ## Date.now in non-test files).
 lint-determinism:
 	sh scripts/lint_determinism.sh
+
+## bench-compile: one-iteration smoke over every benchmark in the root
+## bench_*_test.go harnesses, so a refactor cannot silently rot them —
+## the JSON emitters (TestEmit*Bench) are env-gated and skip unless
+## their BENCH_*_OUT is set, so only the Benchmark* functions run here.
+bench-compile:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m .
 
 ## chaos: the crash-recovery suite, repeated to shake out schedule- and
 ## timing-dependent bugs: kill/restart mid-stream, torn WAL tails,

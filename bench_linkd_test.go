@@ -116,6 +116,75 @@ type linkdCell struct {
 	MeanMs   float64 `json:"mean_ms"`
 	QPS      float64 `json:"queries_per_sec"`
 	BuildSec float64 `json:"table_build_seconds"`
+
+	// Memory columns, measured around this mode's table build.
+	// BytesPerEntry is the settled HeapAlloc delta (GC before both
+	// reads) divided by the entry count — the resident cost of one
+	// stored instance, intern pools and indexes included.
+	BytesPerEntry float64 `json:"bytes_per_entry"`
+	// InternHitRate is hits/(hits+misses) across the linker's intern
+	// pools: the payload-sharing factor the savings come from.
+	InternHitRate   float64 `json:"intern_hit_rate"`
+	InternUAStrings int     `json:"intern_ua_strings"`
+	InternVectors   int     `json:"intern_vectors"`
+	// GCPauseBuildMs is the stop-the-world pause total accrued while
+	// building this mode's table.
+	GCPauseBuildMs float64 `json:"gc_pause_build_ms"`
+	// PeakRSSMB is the process's resident high-water mark (VmHWM) when
+	// the build finished; 0 where /proc is unavailable. Process-wide
+	// and monotonic, so later cells inherit earlier peaks.
+	PeakRSSMB float64 `json:"peak_rss_mb"`
+}
+
+// measureBuild runs build between two settled heap samples: the
+// returned bytes are live-heap growth (signed — GC'd scratch can make
+// a small build negative), and gcPauseMs the STW pause total accrued.
+func measureBuild(build func()) (sec float64, bytes int64, gcPauseMs float64) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	build()
+	sec = time.Since(start).Seconds()
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	bytes = int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	gcPauseMs = float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6
+	return
+}
+
+// peakRSSMB reads the process's resident high-water mark from
+// /proc/self/status (Linux); 0 elsewhere.
+func peakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}
+
+// internHitRate flattens a linker's intern counters to hits/lookups.
+func internHitRate(s fpstalker.StoreStats) float64 {
+	total := s.InternHits + s.InternMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.InternHits) / float64(total)
 }
 
 type linkdReport struct {
@@ -221,20 +290,26 @@ func TestEmitLinkdBench(t *testing.T) {
 	}
 	base := time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC)
 	for _, entries := range sizes {
-		// One shared table build feeds both modes: the linkers are
-		// filled directly, then each mode queries through its own
-		// service shell (rule-only vs learning-first).
+		// The same record stream feeds both modes, but each linker
+		// builds inside its own measured window so the HeapAlloc delta
+		// isolates that table's resident cost; each mode then queries
+		// through its own service shell (rule-only vs learning-first).
 		rule := fpstalker.NewRuleLinker()
+		ruleSec, ruleBytes, ruleGCMs := measureBuild(func() {
+			for i := 0; i < entries; i++ {
+				rule.Add(fmt.Sprintf("lb-i-%d", i), linkdBenchRecord(i, base.Add(time.Duration(i)*time.Second)))
+			}
+		})
 		learn := fpstalker.NewLearnLinker(forest)
-		buildStart := time.Now()
-		for i := 0; i < entries; i++ {
-			rec := linkdBenchRecord(i, base.Add(time.Duration(i)*time.Second))
-			id := fmt.Sprintf("lb-i-%d", i)
-			rule.Add(id, rec)
-			learn.Add(id, rec)
-		}
-		buildSec := time.Since(buildStart).Seconds()
-		t.Logf("table built: %d entries in %.1fs", entries, buildSec)
+		learnSec, learnBytes, learnGCMs := measureBuild(func() {
+			for i := 0; i < entries; i++ {
+				learn.Add(fmt.Sprintf("lb-i-%d", i), linkdBenchRecord(i, base.Add(time.Duration(i)*time.Second)))
+			}
+		})
+		ruleStats, learnStats := rule.StoreStats(), learn.StoreStats()
+		t.Logf("tables built: %d entries, rule %.1fs %.0f B/entry (hit rate %.3f), learning %.1fs %.0f B/entry (hit rate %.3f)",
+			entries, ruleSec, float64(ruleBytes)/float64(entries), internHitRate(ruleStats),
+			learnSec, float64(learnBytes)/float64(entries), internHitRate(learnStats))
 
 		svcRule, _, err := linkd.Open(linkd.Options{Rule: rule, MaxInFlight: 4, QueueDepth: 16})
 		if err != nil {
@@ -245,8 +320,21 @@ func TestEmitLinkdBench(t *testing.T) {
 			t.Fatalf("open learning service: %v", err)
 		}
 
-		ruleCell := runLinkdCell(t, svcRule, entries, queries, k, linkd.ModeRule, buildSec)
-		learnCell := runLinkdCell(t, svcLearn, entries, queries, k, linkd.ModeLearning, buildSec)
+		rss := peakRSSMB()
+		ruleCell := runLinkdCell(t, svcRule, entries, queries, k, linkd.ModeRule, ruleSec)
+		ruleCell.BytesPerEntry = float64(ruleBytes) / float64(entries)
+		ruleCell.InternHitRate = internHitRate(ruleStats)
+		ruleCell.InternUAStrings = ruleStats.UAStrings
+		ruleCell.InternVectors = ruleStats.Vectors
+		ruleCell.GCPauseBuildMs = ruleGCMs
+		ruleCell.PeakRSSMB = rss
+		learnCell := runLinkdCell(t, svcLearn, entries, queries, k, linkd.ModeLearning, learnSec)
+		learnCell.BytesPerEntry = float64(learnBytes) / float64(entries)
+		learnCell.InternHitRate = internHitRate(learnStats)
+		learnCell.InternUAStrings = learnStats.UAStrings
+		learnCell.InternVectors = learnStats.Vectors
+		learnCell.GCPauseBuildMs = learnGCMs
+		learnCell.PeakRSSMB = rss
 		rep.Cells = append(rep.Cells, ruleCell, learnCell)
 		rep.RuleSpeedupByEntries[strconv.Itoa(entries)] = learnCell.MeanMs / ruleCell.MeanMs
 		t.Logf("%d entries: rule p50/p95/p99 = %.2f/%.2f/%.2f ms; learning = %.2f/%.2f/%.2f ms",

@@ -8,7 +8,6 @@ import (
 	"sync"
 
 	"fpdyn/internal/hashutil"
-	"fpdyn/internal/useragent"
 )
 
 // The matching engine: what turns the paper's Figure 9 linear scan into
@@ -28,6 +27,12 @@ import (
 // the rankings of the serial linear scan (sortCandidates' total order —
 // score descending, then ID — is deterministic, and instance IDs are
 // unique).
+//
+// Storage is the interned struct-of-arrays table of store.go: rows are
+// flat pointer-free structs holding intern-pool handles, and the
+// scoring loops materialize *entry-shaped views on the fly. Buckets
+// are keyed by small integer handles (keyReg) so a bucket lookup costs
+// one map read on a uint32, not a multi-string key hash.
 
 // blockKey buckets parsed entries by the attributes the rule-based
 // linker requires to be equal: browser family, OS family and form
@@ -50,82 +55,102 @@ type famKey struct {
 }
 
 // engine is the shared storage and candidate-generation core behind
-// both linkers: an RWMutex-guarded entry table plus the blocking
+// both linkers: an RWMutex-guarded SoA entry table plus the blocking
 // indexes. The mutex makes Add/TopK safe for concurrent callers, the
 // same contract internal/storage gives the collection server.
 type engine struct {
-	mu      sync.RWMutex
-	entries []*entry
-	byID    map[string]int // instance id → index in entries
+	mu   sync.RWMutex
+	tab  soa
+	byID map[string]int // instance id → row in tab
 
-	blocks   map[blockKey][]int // parsed entries by (browser, OS, mobile)
-	fams     map[famKey][]int   // parsed entries by (browser, mobile)
-	raw      map[string][]int   // unparsed entries by verbatim UA string
-	unparsed []int              // every unparsed entry index
+	blockReg keyReg[blockKey]
+	famReg   keyReg[famKey]
+
+	blocks   map[uint32][]int // parsed rows by blockKey handle
+	fams     map[uint32][]int // parsed rows by famKey handle
+	raw      map[uint32][]int // unparsed rows by interned-UA handle
+	unparsed []int            // every unparsed row
 }
 
 func newEngine() *engine {
-	return &engine{
+	g := &engine{
 		byID:   make(map[string]int),
-		blocks: make(map[blockKey][]int),
-		fams:   make(map[famKey][]int),
-		raw:    make(map[string][]int),
+		blocks: make(map[uint32][]int),
+		fams:   make(map[uint32][]int),
+		raw:    make(map[uint32][]int),
 	}
+	g.tab.init()
+	g.blockReg.init()
+	g.famReg.init()
+	return g
 }
 
 func (g *engine) size() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return len(g.entries)
+	return len(g.tab.ids)
 }
 
 // add registers e as the latest fingerprint of id, replacing the
-// instance's previous entry in place (indexes stay stable). It returns
-// the entry's table index and the displaced entry, nil for a brand-new
-// instance. Callers must hold mu.
-func (g *engine) add(id string, e *entry) (int, *entry) {
+// instance's previous row in place (row indexes stay stable) and
+// releasing the replaced row's interned payloads. It returns the row
+// index and, for a replacement, the displaced fingerprint hash so the
+// rule linker can repair its exact-match index. Callers must hold mu.
+func (g *engine) add(id string, e *entry) (i int, oldFPHash uint64, replaced bool) {
 	if i, ok := g.byID[id]; ok {
-		old := g.entries[i]
-		g.entries[i] = e
-		g.unindex(old, i)
-		g.index(e, i)
-		return i, old
+		oldFPHash = g.tab.cold[i].fpHash
+		g.unindex(i)
+		g.tab.releaseRow(i)
+		g.tab.setRow(i, id, e)
+		g.index(i)
+		return i, oldFPHash, true
 	}
-	g.entries = append(g.entries, e)
-	i := len(g.entries) - 1
+	i = g.tab.appendRow(id, e)
 	g.byID[id] = i
-	g.index(e, i)
-	return i, nil
+	g.index(i)
+	return i, 0, false
 }
 
-// remove deletes id's entry from the table and every blocking
-// structure. The vacated slot is filled by swap-moving the last entry
-// down, so the table stays dense; the moved entry (nil if the removed
-// one was last) is returned along with its new index so callers that
-// keep side indexes over table positions (the rule linker's exact-match
-// hash index) can re-point them. Callers must hold mu.
-func (g *engine) remove(id string) (removed, moved *entry, movedTo int) {
+// removal describes what remove did to the table, for callers that
+// keep side indexes over row positions (the rule linker's exact-match
+// hash index): the removed row's position and fingerprint hash, plus
+// the swap-move that refilled the vacated slot (movedFrom == -1 when
+// the removed row was last).
+type removal struct {
+	index       int
+	fpHash      uint64
+	movedFrom   int
+	movedTo     int
+	movedFPHash uint64
+}
+
+// remove deletes id's row from the table and every blocking structure,
+// releasing its interned payloads (the eviction decref path). The
+// vacated slot is filled by swap-moving the last row down, so the
+// table stays dense. Callers must hold mu.
+func (g *engine) remove(id string) (removal, bool) {
 	i, ok := g.byID[id]
 	if !ok {
-		return nil, nil, 0
+		return removal{}, false
 	}
-	e := g.entries[i]
-	g.unindex(e, i)
+	rm := removal{index: i, fpHash: g.tab.cold[i].fpHash, movedFrom: -1}
+	g.unindex(i)
+	g.tab.releaseRow(i)
 	delete(g.byID, id)
-	last := len(g.entries) - 1
+	last := g.tab.len() - 1
 	if i != last {
-		m := g.entries[last]
-		g.entries[i] = m
-		g.byID[m.id] = i
-		// Re-point every blocking bucket holding the moved entry from
-		// its old slot to its new one.
-		g.unindex(m, last)
-		g.index(m, i)
-		moved, movedTo = m, i
+		// Re-point every blocking bucket holding the moved row from its
+		// old slot to its new one. Its bucket handles move with the row,
+		// so rebucketing needs no key recomputation.
+		g.unindex(last)
+		g.tab.moveRow(last, i)
+		g.byID[g.tab.ids[i]] = i
+		g.rebucket(i)
+		rm.movedFrom, rm.movedTo = last, i
+		rm.movedFPHash = g.tab.cold[i].fpHash
 	}
-	g.entries[last] = nil // release the entry for GC
-	g.entries = g.entries[:last]
-	return e, moved, movedTo
+	g.tab.truncate()
+	return rm, true
 }
 
 // indexDigest is a canonical SHA-1 over the entry table and every
@@ -134,23 +159,26 @@ func (g *engine) remove(id string) (removed, moved *entry, movedTo int) {
 // plus the sorted member IDs. Bucket *order* is deliberately excluded —
 // swap-deletes reorder buckets without changing rankings — so a
 // recovered engine that replayed the same adds and evictions digests
-// identically to one that never crashed. Callers must hold mu (read
-// side suffices).
+// identically to one that never crashed. Handles resolve back to their
+// key structs and strings here, so the rendered lines are
+// byte-identical to the pointer-per-entry layout's. Callers must hold
+// mu (read side suffices).
 func (g *engine) indexDigest() string {
 	var lines []string
 	for id, i := range g.byID {
-		e := g.entries[i]
 		lines = append(lines, fmt.Sprintf("entry %s %016x %d %t",
-			id, e.rec.FP.Hash(false), e.rec.Time.UnixNano(), e.ok))
+			id, g.tab.cold[i].fpHash, g.tab.hot[i].timeNS, g.tab.hot[i].flags&rowOK != 0))
 	}
-	for k, bucket := range g.blocks {
+	for bid, bucket := range g.blocks {
+		k := g.blockReg.keys[bid]
 		lines = append(lines, "block "+fmt.Sprintf("%s|%s|%t|%t|%t", k.browser, k.os, k.mobile, k.cookie, k.localStorage)+bucketIDs(g, bucket))
 	}
-	for k, bucket := range g.fams {
+	for fid, bucket := range g.fams {
+		k := g.famReg.keys[fid]
 		lines = append(lines, "fam "+fmt.Sprintf("%s|%t", k.browser, k.mobile)+bucketIDs(g, bucket))
 	}
-	for ua, bucket := range g.raw {
-		lines = append(lines, "raw "+ua+bucketIDs(g, bucket))
+	for uid, bucket := range g.raw {
+		lines = append(lines, "raw "+g.tab.uas.slots[uid].str+bucketIDs(g, bucket))
 	}
 	lines = append(lines, "unparsed"+bucketIDs(g, g.unparsed))
 	sort.Strings(lines)
@@ -166,7 +194,7 @@ func (g *engine) indexDigest() string {
 func bucketIDs(g *engine, bucket []int) string {
 	ids := make([]string, len(bucket))
 	for j, i := range bucket {
-		ids[j] = g.entries[i].id
+		ids[j] = g.tab.ids[i]
 	}
 	sort.Strings(ids)
 	var b []byte
@@ -177,31 +205,46 @@ func bucketIDs(g *engine, bucket []int) string {
 	return string(b)
 }
 
-// entryBlockKey is the rule-variant bucket of a parsed entry.
-func entryBlockKey(e *entry) blockKey {
-	return blockKey{e.ua.Browser, e.ua.OS, e.ua.Mobile,
-		e.rec.FP.CookieEnabled, e.rec.FP.LocalStorage}
+// index computes row i's bucket handles, stores them on the row and
+// appends the row to its buckets. The row must be freshly set (setRow
+// leaves handles zero).
+func (g *engine) index(i int) {
+	h := &g.tab.hot[i]
+	if h.flags&rowOK != 0 {
+		slot := g.tab.uas.slots[h.uaID]
+		c := &g.tab.cold[i]
+		c.blockID = g.blockReg.id(blockKey{slot.ua.Browser, slot.ua.OS, slot.ua.Mobile,
+			h.flags&rowCookie != 0, h.flags&rowLocalStorage != 0})
+		c.famID = g.famReg.id(famKey{slot.ua.Browser, slot.ua.Mobile})
+	}
+	g.rebucket(i)
 }
 
-func (g *engine) index(e *entry, i int) {
-	if e.ok {
-		bk := entryBlockKey(e)
-		g.blocks[bk] = append(g.blocks[bk], i)
-		fk := famKey{e.ua.Browser, e.ua.Mobile}
-		g.fams[fk] = append(g.fams[fk], i)
+// rebucket appends row i to the buckets its stored handles name — the
+// cheap half of index, reused when a swap-move repositions a row whose
+// handles are already right.
+func (g *engine) rebucket(i int) {
+	h := &g.tab.hot[i]
+	if h.flags&rowOK != 0 {
+		c := &g.tab.cold[i]
+		g.blocks[c.blockID] = append(g.blocks[c.blockID], i)
+		g.fams[c.famID] = append(g.fams[c.famID], i)
 		return
 	}
-	g.raw[e.rec.FP.UserAgent] = append(g.raw[e.rec.FP.UserAgent], i)
+	g.raw[h.uaID] = append(g.raw[h.uaID], i)
 	g.unparsed = append(g.unparsed, i)
 }
 
-func (g *engine) unindex(e *entry, i int) {
-	if e.ok {
-		removeFromBucket(g.blocks, entryBlockKey(e), i)
-		removeFromBucket(g.fams, famKey{e.ua.Browser, e.ua.Mobile}, i)
+// unindex removes row i from every bucket its stored handles name.
+func (g *engine) unindex(i int) {
+	h := &g.tab.hot[i]
+	if h.flags&rowOK != 0 {
+		c := &g.tab.cold[i]
+		removeFromBucket(g.blocks, c.blockID, i)
+		removeFromBucket(g.fams, c.famID, i)
 		return
 	}
-	removeFromBucket(g.raw, e.rec.FP.UserAgent, i)
+	removeFromBucket(g.raw, h.uaID, i)
 	for j, v := range g.unparsed {
 		if v == i {
 			g.unparsed[j] = g.unparsed[len(g.unparsed)-1]
@@ -229,38 +272,79 @@ func removeFromBucket[K comparable](m map[K][]int, k K, i int) {
 	}
 }
 
+// exactMatch reports whether row i's fingerprint equals the query's,
+// by the same definition as fingerprint.Equal: the IP-inclusive hash,
+// the verbatim user-agent string and the font multiset (via its
+// order-independent hash) must all agree. Equality by these three
+// independent 64-bit+string checks diverges from Equal only on a hash
+// collision (~2^-64 per pair) — the same substitution featureKeys
+// documents for the similarity scores.
+func (g *engine) exactMatch(i int, q *entry) bool {
+	c := &g.tab.cold[i]
+	return c.eqHash == q.eqHash && c.fontsHash == q.fontsHash &&
+		g.tab.uas.slots[g.tab.hot[i].uaID].str == q.uaStr
+}
+
+// candSet is a candidate set as up to two row-index ranges — the
+// blocking bucket and, for the learning variant, the unparsed tail —
+// scored back-to-back without materializing a merged slice. all=true
+// means "scan every row" (the NoBlocking ablation).
+type candSet struct {
+	a, b []int
+	all  bool
+}
+
+// candLen is the candidate count. Callers must hold mu.
+func (g *engine) candLen(cs candSet) int {
+	if cs.all {
+		return g.tab.len()
+	}
+	return len(cs.a) + len(cs.b)
+}
+
+// candIdx resolves candidate ordinal j to a row index: a's members
+// first, then b's — the same order the historical concatenation
+// scanned, so chunked rankings merge identically.
+func (g *engine) candIdx(cs candSet, j int) int {
+	if cs.all {
+		return j
+	}
+	if j < len(cs.a) {
+		return cs.a[j]
+	}
+	return cs.b[j-len(cs.a)]
+}
+
 // ruleCandidates generates the candidate set for the rule-based linker.
 // A parsed query can only link inside its (browser, OS, mobile,
 // storage toggles) bucket (rules 2 and 4). An unparseable query
 // requires a verbatim UA match, which only an unparsed entry of the
 // same string can satisfy — an identical string would have parsed
-// identically. all=true means "scan every entry" (the NoBlocking
-// ablation). Callers must hold mu.
-func (g *engine) ruleCandidates(q *entry, noBlocking bool) (cand []int, all bool) {
+// identically. Both lookups are non-mutating (a query for an unseen
+// key or UA finds handle 0, which no bucket uses). Callers must hold
+// mu.
+func (g *engine) ruleCandidates(q *entry, noBlocking bool) candSet {
 	if noBlocking {
-		return nil, true
+		return candSet{all: true}
 	}
 	if q.ok {
-		return g.blocks[entryBlockKey(q)], false
+		bid := g.blockReg.lookup(blockKey{q.ua.Browser, q.ua.OS, q.ua.Mobile, q.cookie, q.localStorage})
+		return candSet{a: g.blocks[bid]}
 	}
-	return g.raw[q.rec.FP.UserAgent], false
+	return candSet{a: g.raw[g.tab.uas.byStr[q.uaStr]]}
 }
 
 // learnCandidates generates the candidate set for the learning-based
 // linker: its prefilter only fires when both sides parse, so a parsed
-// query faces its (browser, mobile) bucket plus every unparsed entry,
-// and an unparseable query faces the whole table. Callers must hold mu.
-func (g *engine) learnCandidates(qUA useragent.UA, qOK bool, noBlocking bool) (cand []int, all bool) {
-	if noBlocking || !qOK {
-		return nil, true
+// query faces its (browser, mobile) bucket plus every unparsed entry —
+// two ranges of one candSet, no concatenation — and an unparseable
+// query faces the whole table. Callers must hold mu.
+func (g *engine) learnCandidates(q *entry, noBlocking bool) candSet {
+	if noBlocking || !q.ok {
+		return candSet{all: true}
 	}
-	bucket := g.fams[famKey{qUA.Browser, qUA.Mobile}]
-	if len(g.unparsed) == 0 {
-		return bucket, false
-	}
-	cand = make([]int, 0, len(bucket)+len(g.unparsed))
-	cand = append(append(cand, bucket...), g.unparsed...)
-	return cand, false
+	fid := g.famReg.lookup(famKey{q.ua.Browser, q.ua.Mobile})
+	return candSet{a: g.fams[fid], b: g.unparsed}
 }
 
 // minParallel is the candidate count below which scoring stays serial:
@@ -274,23 +358,41 @@ const minParallel = 256
 // results are copied out to the caller.
 var candPool = sync.Pool{New: func() any { return new([]Candidate) }}
 
-// scoreTopK applies score to each candidate entry (the whole table when
-// all is set), ranks the accepted ones best-first and returns the top
-// k as a fresh slice. workers ≤ 0 sizes the pool to GOMAXPROCS;
-// workers == 1 or a small candidate set keeps it serial. Parallel
-// chunks are merged before the deterministic sort, so blocked,
-// parallel and serial runs return identical rankings. A non-nil ctx is
-// polled between cancelSlice-sized index ranges: a canceled query
-// stops scoring mid-scan and returns ctx's error instead of burning
-// CPU on an answer nobody is waiting for. Callers must hold mu (read
-// side suffices: scoring never mutates the table).
-func (g *engine) scoreTopK(ctx context.Context, cand []int, all bool, workers, k int, score func(*entry) (float64, bool)) ([]Candidate, error) {
-	at, n := g.candAt(cand, all)
+// maxPooledCand caps the capacity a candidate buffer may retain in
+// candPool. A NoBlocking scan over a million-entry table can accept
+// hundreds of thousands of candidates; putting that buffer back at
+// full capacity would pin megabytes forever off one worst-case query.
+// Oversized buffers are dropped for the GC instead.
+const maxPooledCand = 16384
+
+// putCandBuf returns a scratch buffer to candPool, unless a worst-case
+// query grew it past maxPooledCand.
+func putCandBuf(bp *[]Candidate) {
+	if cap(*bp) > maxPooledCand {
+		return
+	}
+	*bp = (*bp)[:0]
+	candPool.Put(bp)
+}
+
+// scoreTopK applies score to each candidate row's entry view (the
+// whole table when cs.all is set), ranks the accepted ones best-first
+// and returns the top k as a fresh slice. workers ≤ 0 sizes the pool
+// to GOMAXPROCS; workers == 1 or a small candidate set keeps it
+// serial. Parallel chunks are merged before the deterministic sort, so
+// blocked, parallel and serial runs return identical rankings. A
+// non-nil ctx is polled between cancelSlice-sized index ranges: a
+// canceled query stops scoring mid-scan and returns ctx's error
+// instead of burning CPU on an answer nobody is waiting for. Callers
+// must hold mu (read side suffices: scoring never mutates the table).
+func (g *engine) scoreTopK(ctx context.Context, cs candSet, workers, k int, score func(*entry) (float64, bool)) ([]Candidate, error) {
+	n := g.candLen(cs)
 	return g.rankChunks(ctx, n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
+		var v entry // per-call view scratch: each worker chunk fills its own
 		for j := lo; j < hi; j++ {
-			e := at(j)
-			if s, ok := score(e); ok {
-				out = append(out, Candidate{ID: e.id, Score: s})
+			g.tab.fillView(g.candIdx(cs, j), &v)
+			if s, ok := score(&v); ok {
+				out = append(out, Candidate{ID: v.id, Score: s})
 			}
 		}
 		return out
@@ -302,45 +404,47 @@ func (g *engine) scoreTopK(ctx context.Context, cand []int, all bool, workers, k
 // small enough that a block of pair vectors stays cache-resident.
 const scoreBlock = 256
 
-// blockPool recycles the per-block entry gather buffers of
-// scoreTopKBatch.
+// viewBlock is one worker's batch-scoring scratch: scoreBlock entry
+// views plus stable pointers to them in the shape the batch scorer
+// consumes. Fixed capacity, so unlike a grown slice it cannot pin a
+// worst-case query's memory when pooled.
+type viewBlock struct {
+	views [scoreBlock]entry
+	ptrs  []*entry
+}
+
+// blockPool recycles the per-block view buffers of scoreTopKBatch.
 var blockPool = sync.Pool{New: func() any {
-	b := make([]*entry, 0, scoreBlock)
-	return &b
+	b := new(viewBlock)
+	b.ptrs = make([]*entry, scoreBlock)
+	for i := range b.views {
+		b.ptrs[i] = &b.views[i]
+	}
+	return b
 }}
 
 // scoreTopKBatch is scoreTopK for scorers that evaluate candidates a
 // block at a time (the learning linker's batch forest kernel): score
-// receives up to scoreBlock entries and appends the accepted ones to
-// out, preserving block order, so the merged ranking is identical to
-// the per-entry path. Callers must hold mu.
-func (g *engine) scoreTopKBatch(ctx context.Context, cand []int, all bool, workers, k int, score func(es []*entry, out []Candidate) []Candidate) ([]Candidate, error) {
-	at, n := g.candAt(cand, all)
+// receives up to scoreBlock entry views and appends the accepted ones
+// to out, preserving block order, so the merged ranking is identical
+// to the per-entry path. Callers must hold mu.
+func (g *engine) scoreTopKBatch(ctx context.Context, cs candSet, workers, k int, score func(es []*entry, out []Candidate) []Candidate) ([]Candidate, error) {
+	n := g.candLen(cs)
 	return g.rankChunks(ctx, n, workers, k, func(lo, hi int, out []Candidate) []Candidate {
-		bp := blockPool.Get().(*[]*entry)
-		block := *bp
+		b := blockPool.Get().(*viewBlock)
 		for lo < hi {
 			end := min(lo+scoreBlock, hi)
-			block = block[:0]
+			m := 0
 			for j := lo; j < end; j++ {
-				block = append(block, at(j))
+				g.tab.fillView(g.candIdx(cs, j), &b.views[m])
+				m++
 			}
-			out = score(block, out)
+			out = score(b.ptrs[:m], out)
 			lo = end
 		}
-		*bp = block[:0]
-		blockPool.Put(bp)
+		blockPool.Put(b)
 		return out
 	})
-}
-
-// candAt resolves the candidate indirection: an accessor over either
-// the explicit candidate list or the whole table, plus its length.
-func (g *engine) candAt(cand []int, all bool) (at func(int) *entry, n int) {
-	if all {
-		return func(j int) *entry { return g.entries[j] }, len(g.entries)
-	}
-	return func(j int) *entry { return g.entries[cand[j]] }, len(cand)
 }
 
 // cancelSlice is the index-range granularity at which a ctx-carrying
@@ -387,8 +491,8 @@ func (g *engine) rankChunks(ctx context.Context, n, workers, k int, run func(lo,
 		if ctx == nil {
 			buf = run(0, n, buf)
 		} else if !runSliced(ctx, 0, n, &buf, run) {
-			*bufp = buf[:0]
-			candPool.Put(bufp)
+			*bufp = buf
+			putCandBuf(bufp)
 			return nil, ctx.Err()
 		}
 	} else {
@@ -423,18 +527,17 @@ func (g *engine) rankChunks(ctx context.Context, n, workers, k int, run func(lo,
 				continue
 			}
 			buf = append(buf, *bp...)
-			*bp = (*bp)[:0]
-			candPool.Put(bp)
+			putCandBuf(bp)
 		}
 		if ctx != nil && ctx.Err() != nil {
-			*bufp = buf[:0]
-			candPool.Put(bufp)
+			*bufp = buf
+			putCandBuf(bufp)
 			return nil, ctx.Err()
 		}
 	}
 	res := topK(buf, k)
-	*bufp = buf[:0]
-	candPool.Put(bufp)
+	*bufp = buf
+	putCandBuf(bufp)
 	return res, nil
 }
 

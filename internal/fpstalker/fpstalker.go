@@ -59,42 +59,82 @@ type DynamicLinker interface {
 	IndexDigest() string
 }
 
-// entry is the last known fingerprint of one instance, with preparsed
-// fields the scoring consults on every comparison: the structured UA
-// and the canonical feature keys. Precomputing both at Add time is
-// what keeps per-candidate scoring at string compares — re-deriving
-// them per pair (two regex parses plus ~30 Value.Key builds, several
-// of which hash whole font lists) is O(candidates) redundant work per
-// query, the dominant term of the paper's Figure 9 wall.
+// entry is the scorers' working shape: the last known fingerprint of
+// one instance, reduced to the preparsed fields scoring consults on
+// every comparison — the structured UA, the canonical feature keys,
+// and the handful of scalars the rules read. Precomputing these at
+// Add time is what keeps per-candidate scoring at integer compares —
+// re-deriving them per pair (two regex parses plus ~30 Value.Key
+// builds, several of which hash whole font lists) is O(candidates)
+// redundant work per query, the dominant term of the paper's Figure 9
+// wall.
+//
+// Entries no longer retain the *fingerprint.Record. Stored instances
+// live as rows of the interned SoA table (store.go); the scoring loops
+// materialize entry views from rows via soa.fillView, whose slices and
+// UA alias the intern pools. Query-side and training-side entries are
+// built standalone by newEntry/newPairEntry. Everything a scorer ever
+// read off the record is carried here: the raw UA string, the storage
+// toggles, the timestamp (as Unix nanoseconds), and the fingerprint
+// hashes the exact-match index compares.
 type entry struct {
-	id   string
-	rec  *fingerprint.Record
-	ua   useragent.UA
-	ok   bool     // ua parsed
-	keys []uint64 // hashed non-IP feature keys, in Schema order
+	id    string
+	uaStr string // verbatim UserAgent (unparseable-agent rule, raw index)
+	ua    *useragent.UA
+	keys  []uint64 // hashed non-IP feature keys, in Schema order
 
-	// hrs is rec.Time as fractional hours since the Unix epoch (0 when
-	// rec.Time is the zero value): the recency nudge runs per accepted
-	// candidate, and float arithmetic there is far cheaper than
-	// time.Time comparisons.
-	hrs     float64
-	hasTime bool
+	// hrs is the record time as fractional hours since the Unix epoch
+	// (0 when the time is the zero value): the recency nudge runs per
+	// accepted candidate, and float arithmetic there is far cheaper
+	// than time.Time comparisons. timeNS is the same instant in Unix
+	// nanoseconds — the pair model's time-gap feature and the index
+	// digest both consume it.
+	hrs    float64
+	timeNS int64
+
+	// fpHash is FP.Hash(false) — the digest/exact-index bucket key.
+	// eqHash (FP.Hash(true)) and fontsHash (order-independent font
+	// multiset hash) are the pair fingerprint.Equal compares, so the
+	// exact-match rule needs no record.
+	fpHash    uint64
+	eqHash    uint64
+	fontsHash uint64
 
 	// Sorted, deduplicated element hashes of the set features the pair
 	// model computes Jaccard similarities over. Precomputing them turns
 	// the per-pair Jaccard into an allocation-free merge walk instead
 	// of building two maps per candidate.
 	fonts, plugins, langs []uint64
+
+	ok           bool // ua parsed
+	cookie       bool // CookieEnabled (rule 4, pair storage feature)
+	localStorage bool // LocalStorage (rule 4, pair storage feature)
+	hasTime      bool // record time non-zero
 }
 
 func newEntry(id string, rec *fingerprint.Record) *entry {
-	e := &entry{id: id, rec: rec, keys: featureKeys(rec.FP)}
+	fp := rec.FP
+	e := &entry{
+		id:    id,
+		uaStr: fp.UserAgent,
+		keys:  featureKeys(fp),
+		// UnixNano of the zero time is an out-of-range constant, but a
+		// deterministic one: the digest prints it verbatim (as the
+		// record-carrying layout did) and every arithmetic use is gated
+		// on hasTime.
+		timeNS:       rec.Time.UnixNano(),
+		fpHash:       fp.Hash(false),
+		eqHash:       fp.Hash(true),
+		fontsHash:    hashutil.HashSet(fp.Fonts),
+		cookie:       fp.CookieEnabled,
+		localStorage: fp.LocalStorage,
+	}
 	if !rec.Time.IsZero() {
-		e.hrs = float64(rec.Time.UnixNano()) / float64(time.Hour)
+		e.hrs = float64(e.timeNS) / float64(time.Hour)
 		e.hasTime = true
 	}
-	if ua, err := useragent.CachedParse(rec.FP.UserAgent); err == nil {
-		e.ua, e.ok = ua, true
+	if ua, err := useragent.CachedParse(fp.UserAgent); err == nil {
+		e.ua, e.ok = &ua, true
 	}
 	return e
 }
@@ -155,6 +195,33 @@ var nonIPSchema, rareAt = func() ([]fingerprint.ID, []bool) {
 // numNonIP is the number of non-IP schema features — the denominator
 // of the rule-based similarity score.
 var numNonIP = len(nonIPSchema)
+
+// Positions of the individually-compared features inside a keys
+// vector. The pair model's equality features read these instead of the
+// record fields: the schema's Value() canonicalization is injective
+// for each (Timezone renders as the decimal offset, the rest are the
+// verbatim strings), so key equality matches field equality up to the
+// same ~2^-64 hash-collision odds featureKeys documents.
+var keyIdxTimezone, keyIdxCanvas, keyIdxGPURenderer, keyIdxAudio,
+	keyIdxScreen, keyIdxGPUImage = func() (tz, cv, gr, au, sc, gi int) {
+	for i, id := range nonIPSchema {
+		switch id {
+		case fingerprint.FeatTimezone:
+			tz = i
+		case fingerprint.FeatCanvas:
+			cv = i
+		case fingerprint.FeatGPURenderer:
+			gr = i
+		case fingerprint.FeatAudio:
+			au = i
+		case fingerprint.FeatScreenResolution:
+			sc = i
+		case fingerprint.FeatGPUImage:
+			gi = i
+		}
+	}
+	return
+}()
 
 // featureKeys precomputes a 64-bit hash of the canonical key of every
 // non-IP schema feature, in Schema order. Fixed-width hashes make the

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"fpdyn/internal/fingerprint"
 	"fpdyn/internal/mlearn"
@@ -58,13 +59,14 @@ func (l *LearnLinker) Add(id string, rec *fingerprint.Record) {
 }
 
 // Remove implements DynamicLinker: it deletes id's entry from the
-// table and the blocking index, reporting whether the instance was
-// known. Safe for concurrent use with Add and TopK.
+// table and the blocking index, releasing its interned payloads, and
+// reports whether the instance was known. Safe for concurrent use with
+// Add and TopK.
 func (l *LearnLinker) Remove(id string) bool {
 	l.eng.mu.Lock()
-	removed, _, _ := l.eng.remove(id)
+	_, known := l.eng.remove(id)
 	l.eng.mu.Unlock()
-	return removed != nil
+	return known
 }
 
 // IndexDigest implements DynamicLinker: a canonical digest over the
@@ -92,7 +94,7 @@ func (l *LearnLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k in
 	q := newPairEntry("", rec)
 	l.eng.mu.RLock()
 	defer l.eng.mu.RUnlock()
-	cand, all := l.eng.learnCandidates(q.ua, q.ok, l.NoBlocking)
+	cs := l.eng.learnCandidates(q, l.NoBlocking)
 	// Prefilter: browser family must match when both parse. Kept here
 	// (not only in the blocking index) so the NoBlocking scan returns
 	// identical results.
@@ -100,7 +102,7 @@ func (l *LearnLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k in
 		return q.ok && e.ok && (q.ua.Browser != e.ua.Browser || q.ua.Mobile != e.ua.Mobile)
 	}
 	if l.ScalarScore {
-		return l.eng.scoreTopK(ctx, cand, all, l.Workers, k, func(e *entry) (float64, bool) {
+		return l.eng.scoreTopK(ctx, cs, l.Workers, k, func(e *entry) (float64, bool) {
 			if reject(e) {
 				return 0, false
 			}
@@ -116,7 +118,7 @@ func (l *LearnLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k in
 	// pair vectors scored by a single forest pass (every tree walks the
 	// whole block before the next tree loads), instead of one forest
 	// walk per pair.
-	return l.eng.scoreTopKBatch(ctx, cand, all, l.Workers, k, func(es []*entry, out []Candidate) []Candidate {
+	return l.eng.scoreTopKBatch(ctx, cs, l.Workers, k, func(es []*entry, out []Candidate) []Candidate {
 		s := batchPool.Get().(*batchScratch)
 		kept, xs := s.kept[:0], s.xs[:0]
 		for _, e := range es {
@@ -215,7 +217,6 @@ func pairVectorEntries(known, query *entry) []float64 {
 // scoring hot path recycles through a pool so a query over an
 // N-candidate bucket performs no per-pair allocation.
 func appendPairVector(dst []float64, known, query *entry) []float64 {
-	a, b := known.rec.FP, query.rec.FP
 	eq := func(cond bool) float64 {
 		if cond {
 			return 1
@@ -244,24 +245,27 @@ func appendPairVector(dst []float64, known, query *entry) []float64 {
 		}
 	}
 	gapDays := 0.0
-	if !known.rec.Time.IsZero() && !query.rec.Time.IsZero() {
-		gapDays = math.Abs(query.rec.Time.Sub(known.rec.Time).Hours()) / 24
+	if known.hasTime && query.hasTime {
+		// Identical to Time.Sub(...).Hours() for any in-range instant;
+		// out-of-range timestamps (the zero time) are gated by hasTime.
+		gapDays = math.Abs(time.Duration(query.timeNS-known.timeNS).Hours()) / 24
 	}
 	total, rare := countKeyDiffs(known.keys, query.keys)
+	ak, bk := known.keys, query.keys
 	return append(dst,
 		sameFamily,
 		verAdvance,
 		osAdvance,
-		eq(a.CanvasHash == b.CanvasHash),
-		eq(a.GPUImageHash == b.GPUImageHash),
+		eq(ak[keyIdxCanvas] == bk[keyIdxCanvas]),
+		eq(ak[keyIdxGPUImage] == bk[keyIdxGPUImage]),
 		jaccardSorted(known.fonts, query.fonts),
 		jaccardSorted(known.plugins, query.plugins),
 		jaccardSorted(known.langs, query.langs),
-		eq(a.ScreenResolution == b.ScreenResolution),
-		eq(a.TimezoneOffset == b.TimezoneOffset),
-		eq(a.CookieEnabled == b.CookieEnabled && a.LocalStorage == b.LocalStorage),
-		eq(a.GPURenderer == b.GPURenderer),
-		eq(a.AudioInfo == b.AudioInfo),
+		eq(ak[keyIdxScreen] == bk[keyIdxScreen]),
+		eq(ak[keyIdxTimezone] == bk[keyIdxTimezone]),
+		eq(known.cookie == query.cookie && known.localStorage == query.localStorage),
+		eq(ak[keyIdxGPURenderer] == bk[keyIdxGPURenderer]),
+		eq(ak[keyIdxAudio] == bk[keyIdxAudio]),
 		float64(total)/float64(fingerprint.NumFeatures),
 		float64(rare)/4,
 		math.Min(gapDays/120, 1),

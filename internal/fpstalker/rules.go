@@ -67,12 +67,11 @@ func (l *RuleLinker) Add(id string, rec *fingerprint.Record) {
 	e := newEntry(id, rec)
 	l.eng.mu.Lock()
 	defer l.eng.mu.Unlock()
-	i, old := l.eng.add(id, e)
-	if old != nil {
-		removeFromBucket(l.byHash, old.rec.FP.Hash(false), i)
+	i, oldHash, replaced := l.eng.add(id, e)
+	if replaced {
+		removeFromBucket(l.byHash, oldHash, i)
 	}
-	h := rec.FP.Hash(false)
-	l.byHash[h] = append(l.byHash[h], i)
+	l.byHash[e.fpHash] = append(l.byHash[e.fpHash], i)
 }
 
 // Remove implements DynamicLinker: it deletes id's entry from the
@@ -83,19 +82,16 @@ func (l *RuleLinker) Remove(id string) bool {
 	l.eng.mu.Lock()
 	defer l.eng.mu.Unlock()
 	// The hash index must be fixed in two steps: drop the removed
-	// entry's old slot, then re-point the swap-moved entry (which held
-	// the table's last slot) to its new position.
-	i, known := l.eng.byID[id]
+	// row's old slot, then re-point the swap-moved row (which held the
+	// table's last slot) to its new position.
+	rm, known := l.eng.remove(id)
 	if !known {
 		return false
 	}
-	oldLast := len(l.eng.entries) - 1
-	removed, moved, movedTo := l.eng.remove(id)
-	removeFromBucket(l.byHash, removed.rec.FP.Hash(false), i)
-	if moved != nil {
-		h := moved.rec.FP.Hash(false)
-		removeFromBucket(l.byHash, h, oldLast)
-		l.byHash[h] = append(l.byHash[h], movedTo)
+	removeFromBucket(l.byHash, rm.fpHash, rm.index)
+	if rm.movedFrom >= 0 {
+		removeFromBucket(l.byHash, rm.movedFPHash, rm.movedFrom)
+		l.byHash[rm.movedFPHash] = append(l.byHash[rm.movedFPHash], rm.movedTo)
 	}
 	return true
 }
@@ -133,16 +129,20 @@ func (l *RuleLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k int
 	if k <= 0 {
 		return nil, nil
 	}
+	// One query-side entry per TopK: the UA parse, the ~30 feature keys
+	// and the fingerprint hashes are computed once here instead of once
+	// per candidate.
+	q := newEntry("", rec)
 	l.eng.mu.RLock()
 	defer l.eng.mu.RUnlock()
-	// Rule 1: exact match via the index.
+	// Rule 1: exact match via the index (hash bucket, then the
+	// fingerprint.Equal-equivalent check over the stored hashes).
 	if !l.NoExactIndex {
-		h := rec.FP.Hash(false)
-		if idxs := l.byHash[h]; len(idxs) > 0 {
+		if idxs := l.byHash[q.fpHash]; len(idxs) > 0 {
 			cands := make([]Candidate, 0, len(idxs))
 			for _, i := range idxs {
-				if l.eng.entries[i].rec.FP.Equal(rec.FP) {
-					cands = append(cands, Candidate{ID: l.eng.entries[i].id, Score: 1e9})
+				if l.eng.exactMatch(i, q) {
+					cands = append(cands, Candidate{ID: l.eng.tab.ids[i], Score: 1e9})
 				}
 			}
 			if len(cands) > 0 {
@@ -151,12 +151,9 @@ func (l *RuleLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k int
 		}
 	}
 
-	// One query-side entry per TopK: the UA parse and the ~30 feature
-	// keys are computed once here instead of once per candidate.
-	q := newEntry("", rec)
-	cand, all := l.eng.ruleCandidates(q, l.NoBlocking)
+	cs := l.eng.ruleCandidates(q, l.NoBlocking)
 	score := func(e *entry) (float64, bool) { return l.score(q, e) }
-	if !all && q.ok {
+	if !cs.all && q.ok {
 		// Every entry in the query's bucket shares its browser family,
 		// OS family, form factor and storage toggles by construction —
 		// rules 2 and 4 are already satisfied, so the blocked path only
@@ -164,15 +161,13 @@ func (l *RuleLinker) TopKCtx(ctx context.Context, rec *fingerprint.Record, k int
 		// the same set.
 		score = func(e *entry) (float64, bool) { return l.scoreBlocked(q, e) }
 	}
-	return l.eng.scoreTopK(ctx, cand, all, l.Workers, k, score)
+	return l.eng.scoreTopK(ctx, cs, l.Workers, k, score)
 }
 
 // score applies rules 2–5 and returns the similarity score. It is the
 // complete filter: blocking only skips entries score would reject, so
 // blocked and full scans rank identically.
 func (l *RuleLinker) score(q, e *entry) (float64, bool) {
-	fp, cand := q.rec.FP, e.rec.FP
-
 	// Rule 2: same browser family / OS family / platform.
 	if q.ok && e.ok {
 		if q.ua.Browser != e.ua.Browser || q.ua.OS != e.ua.OS || q.ua.Mobile != e.ua.Mobile {
@@ -185,13 +180,13 @@ func (l *RuleLinker) score(q, e *entry) (float64, bool) {
 		if q.ua.OSVersion.Compare(e.ua.OSVersion) < 0 {
 			return 0, false
 		}
-	} else if fp.UserAgent != cand.UserAgent {
+	} else if q.uaStr != e.uaStr {
 		// Unparseable agents must match verbatim.
 		return 0, false
 	}
 
 	// Rule 4: user-controlled storage toggles must be equal.
-	if fp.CookieEnabled != cand.CookieEnabled || fp.LocalStorage != cand.LocalStorage {
+	if q.cookie != e.cookie || q.localStorage != e.localStorage {
 		return 0, false
 	}
 

@@ -75,6 +75,20 @@ func HashStrings(ss ...string) uint64 {
 	return h
 }
 
+// HashUint64s hashes a uint64 slice in order, mixing in the length so
+// prefixes do not collide with their extensions. It keys the content-
+// addressed intern pools of the FP-Stalker entry store: equal slices
+// always hash equal, and distinct slices collide with probability
+// ~2^-64 (colliding candidates are verified by full comparison, so a
+// collision costs a compare, not correctness).
+func HashUint64s(vs []uint64) uint64 {
+	h := uint64(fnvOffset64) ^ uint64(len(vs))*fnvPrime64
+	for _, v := range vs {
+		h = Combine(h, mix64(v))
+	}
+	return h
+}
+
 // HashSet hashes a set of strings order-independently: the same set in any
 // order hashes identically. Used for font lists and plugin lists, whose
 // collection order is not semantically meaningful.

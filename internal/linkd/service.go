@@ -290,8 +290,17 @@ func (s *Service) Degraded() bool { return s.degraded.Load() }
 // applyLocked installs one observation into the table, the evictor and
 // both linkers, without journaling. Callers hold s.mu (or own the
 // service exclusively during recovery).
+//
+// The canonical record is retained only when a journal is configured:
+// live exists solely to feed Compact's snapshot cut (which requires a
+// journal), and the linkers' interned store no longer holds records —
+// so a memory-only service keeps nothing but the interned tables.
+// Gated on the option, not s.wal: recovery replays entries through
+// here before Open assigns s.wal.
 func (s *Service) applyLocked(id string, rec *fingerprint.Record) {
-	s.live[id] = rec
+	if s.opts.WAL.Dir != "" {
+		s.live[id] = rec
+	}
 	s.evict.observe(id, rec.Time)
 	s.rule.Add(id, rec)
 	if s.learn != nil {

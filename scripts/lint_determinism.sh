@@ -69,6 +69,32 @@ for f in internal/storage/*.go; do
     fi
 done
 
+# Matching-engine storage (internal/fpstalker): the interned SoA entry
+# store and both linkers must be pure functions of the add/remove
+# history — IndexDigest equality across crash recovery, replay and
+# swap-delete churn is how the chaos suites prove state integrity, so
+# wall-clock reads or global-rand draws in the storage/scoring files
+# would poison every digest comparison. evaluate.go is exempt: it
+# legitimately times match latency (the paper's Figure 9 measurement);
+# learning.go's seeded rand.New sampling passes the global-rand rule.
+for f in internal/fpstalker/intern.go internal/fpstalker/store.go \
+    internal/fpstalker/engine.go internal/fpstalker/fpstalker.go \
+    internal/fpstalker/rules.go internal/fpstalker/learning.go; do
+    [ -f "$f" ] || { echo "determinism lint: missing $f (store layout moved?)" >&2; fail=1; continue; }
+    if grep -n 'time\.Now(\|time\.Since(' "$f"; then
+        echo "determinism lint: $f reads the wall clock — entry state must derive from record timestamps" >&2
+        fail=1
+    fi
+    if grep -En '(^|[^.[:alnum:]_])rand\.(Seed|Int|Intn|Int31n?|Int63n?|Uint32|Uint64|Float32|Float64|NormFloat64|ExpFloat64|Perm|Shuffle|Read)\(' "$f"; then
+        echo "determinism lint: $f uses the global math/rand source — use a seeded rand.New(rand.NewSource(...))" >&2
+        fail=1
+    fi
+    if grep -n 'Date\.now' "$f"; then
+        echo "determinism lint: $f references Date.now" >&2
+        fail=1
+    fi
+done
+
 # Linking service (internal/linkd): eviction cutoffs and chaos-test
 # replay are deterministic only because every wall-clock read funnels
 # through Options.Clock or the package's single `wallClock` variable
